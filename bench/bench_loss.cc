@@ -1,0 +1,168 @@
+// §3's retransmission-strategy ablation.
+//
+// "In contrast to other protocols, IL does not do blind retransmission.  If
+// a message is lost and a timeout occurs, a query message is sent...  This
+// allows the protocol to behave well in congested networks, where blind
+// retransmission would cause further congestion."
+//
+// We run an RPC-shaped workload (1K messages, windowed) over IL and over
+// TCP at increasing loss rates and report goodput plus *overhead ratio* —
+// retransmitted bytes (or messages) per useful byte delivered.  TCP's
+// go-back-N resends everything in flight on a timeout; IL queries first and
+// resends only what the State reply shows missing.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/dial/dial.h"
+#include "src/inet/il.h"
+#include "src/inet/tcp.h"
+#include "src/ndb/ndb.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+using namespace plan9;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const char kNdb[] =
+    "sys=helix\n\tip=135.104.9.31\nsys=musca\n\tip=135.104.9.6\n";
+
+struct World {
+  explicit World(double loss, uint64_t seed)
+      : ether(LinkParams{.bandwidth_bps = 10'000'000,
+                         .latency = std::chrono::microseconds(200),
+                         .loss_rate = loss,
+                         .seed = seed,
+                         .mtu = 1514}) {
+    db = std::make_shared<Ndb>();
+    (void)db->Load(kNdb);
+    helix = std::make_unique<Node>("helix");
+    musca = std::make_unique<Node>("musca");
+    helix->AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                    Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+    musca->AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 2},
+                    Ipv4Addr::FromOctets(135, 104, 9, 6), Ipv4Addr{0xffffff00});
+    (void)BootNetwork(helix.get(), db, kNdb);
+    (void)BootNetwork(musca.get(), db, kNdb);
+  }
+  EtherSegment ether;
+  std::shared_ptr<Ndb> db;
+  std::unique_ptr<Node> helix, musca;
+};
+
+struct RunResult {
+  double goodput_kbs = 0;
+  double overhead_ratio = 0;  // retransmitted bytes / useful bytes
+  bool completed = false;
+};
+
+RunResult Run(const std::string& proto, double loss, size_t messages, size_t msg_size,
+              uint64_t seed) {
+  World w(loss, seed);
+  auto sp = w.musca->NewProc();
+  auto cp = w.helix->NewProc();
+  std::string adir;
+  auto afd = Announce(sp.get(), proto + "!*!7777", &adir);
+  if (!afd.ok()) {
+    return {};
+  }
+  int server_fd = -1;
+  std::thread listener([&] {
+    std::string ldir;
+    auto lcfd = Listen(sp.get(), adir, &ldir);
+    if (lcfd.ok()) {
+      auto dfd = Accept(sp.get(), *lcfd, ldir);
+      if (dfd.ok()) {
+        server_fd = *dfd;
+      }
+    }
+  });
+  auto dfd = Dial(cp.get(), proto + "!135.104.9.6!7777");
+  listener.join();
+  if (!dfd.ok() || server_fd < 0) {
+    return {};
+  }
+
+  size_t total = messages * msg_size;
+  std::thread sink([&] {
+    Bytes buf(16 * 1024);
+    size_t got = 0;
+    while (got < total) {
+      auto n = sp->Read(server_fd, buf.data(), buf.size());
+      if (!n.ok() || *n == 0) {
+        return;
+      }
+      got += *n;
+    }
+    (void)sp->Write(server_fd, "!", 1);
+  });
+
+  Bytes block(msg_size, 0x3c);
+  auto t0 = Clock::now();
+  bool ok = true;
+  for (size_t i = 0; i < messages && ok; i++) {
+    auto n = cp->Write(*dfd, block.data(), block.size());
+    ok = n.ok();
+  }
+  char ack = 0;
+  if (ok) {
+    auto n = cp->Read(*dfd, &ack, 1);
+    ok = n.ok() && *n == 1;
+  }
+  auto t1 = Clock::now();
+  sink.join();
+
+  RunResult r;
+  r.completed = ok;
+  r.goodput_kbs = static_cast<double>(total) / 1024.0 /
+                  std::chrono::duration<double>(t1 - t0).count();
+  // Pull retransmission stats from the client conversation (index found via
+  // the protocol object: connection 0 is ours — the world is private).
+  if (proto == "il") {
+    auto* conv = static_cast<IlConv*>(w.helix->il()->Conv(0));
+    auto s = conv->stats();
+    r.overhead_ratio =
+        s.msgs_sent == 0
+            ? 0
+            : static_cast<double>(s.retransmits) / static_cast<double>(s.msgs_sent);
+  } else {
+    auto* conv = static_cast<TcpConv*>(w.helix->tcp()->Conv(0));
+    auto s = conv->stats();
+    r.overhead_ratio = s.bytes_sent == 0 ? 0
+                                         : static_cast<double>(s.retransmit_bytes) /
+                                               static_cast<double>(s.bytes_sent);
+  }
+  (void)cp->Close(*dfd);
+  (void)sp->Close(server_fd);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  setbuf(stdout, nullptr);
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  size_t messages = quick ? 150 : 600;
+  size_t msg_size = 1024;
+
+  std::printf("query-based (IL) vs blind (TCP) retransmission under loss (§3)\n");
+  std::printf("workload: %zu x %zuB messages, one direction + ack\n\n", messages,
+              msg_size);
+  std::printf("%-6s %6s %14s %26s\n", "proto", "loss", "goodput KB/s",
+              "retransmit overhead ratio");
+  for (double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    for (const char* proto : {"il", "tcp"}) {
+      auto r = Run(proto, loss, messages, msg_size, /*seed=*/1234);
+      std::printf("%-6s %5.0f%% %14.1f %26.3f %s\n", proto, loss * 100,
+                  r.goodput_kbs, r.overhead_ratio, r.completed ? "" : "(incomplete)");
+    }
+  }
+  std::printf(
+      "\noverhead ratio = retransmitted/total sent (messages for IL, bytes for "
+      "TCP).\nIL's ratio should stay well below TCP's as loss grows: it asks "
+      "(Query/State)\nbefore resending, instead of blindly resending the window.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §4.1: the network-database hash indexes.
+//
+// "Our global file ... has 43,000 lines.  To speed searches, we build hash
+// table files for each attribute we expect to search often...  Searches for
+// attributes that aren't hashed or whose hash table is out-of-date still
+// work, they just take longer."
+//
+// Benchmarks: indexed lookup vs linear scan vs stale-index fallback on a
+// synthetic 43k-line global database, plus the $attr ipinfo walk and the
+// service-name resolution CS performs per dial.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/ndb/ndb.h"
+
+namespace plan9 {
+namespace {
+
+Ndb* GlobalDb() {
+  static Ndb* db = [] {
+    auto* d = new Ndb();
+    // The paper's AT&T-wide database: 43,000 lines.
+    (void)d->Load(SynthesizeGlobalNdb(43'000));
+    (void)d->Load(
+        "ipnet=backbone ip=10.0.0.0 auth=authserv\n"
+        "il=9fs port=17008\ntcp=echo port=7\n"
+        "sys=target\n\tdom=target.example.com\n\tip=10.1.2.3\n");
+    return d;
+  }();
+  return db;
+}
+
+void BM_LookupIndexed(benchmark::State& state) {
+  Ndb* db = GlobalDb();
+  db->BuildIndex("sys");
+  for (auto _ : state) {
+    auto hits = db->Search("sys", "synth500");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LookupIndexed);
+
+void BM_LookupLinearScan(benchmark::State& state) {
+  Ndb* db = GlobalDb();
+  // "attributes that aren't hashed ... still work, they just take longer":
+  // dom has no index here.
+  for (auto _ : state) {
+    auto hits = db->Search("dom", "synth500.research.example.com");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LookupLinearScan);
+
+void BM_LookupStaleIndexFallback(benchmark::State& state) {
+  Ndb* db = GlobalDb();
+  db->BuildIndex("sys");
+  db->InvalidateIndexes();  // master file changed; hash files out of date
+  for (auto _ : state) {
+    auto hits = db->Search("sys", "synth500");
+    benchmark::DoNotOptimize(hits);
+  }
+  db->RebuildIndexes();
+}
+BENCHMARK(BM_LookupStaleIndexFallback);
+
+void BM_IndexBuild43kLines(benchmark::State& state) {
+  Ndb* db = GlobalDb();
+  for (auto _ : state) {
+    db->BuildIndex("ip");
+  }
+}
+BENCHMARK(BM_IndexBuild43kLines);
+
+void BM_IpInfoAuthWalk(benchmark::State& state) {
+  // The $auth meta-name: system entry -> subnet -> network.
+  Ndb* db = GlobalDb();
+  for (auto _ : state) {
+    auto v = db->IpInfo(Ipv4Addr::FromOctets(10, 1, 2, 3), "auth");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_IpInfoAuthWalk);
+
+void BM_ServicePortResolution(benchmark::State& state) {
+  Ndb* db = GlobalDb();
+  for (auto _ : state) {
+    auto p = db->ServicePort("il", "9fs");
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ServicePortResolution);
+
+void BM_ParseLocalDb(benchmark::State& state) {
+  static const std::string text = SynthesizeGlobalNdb(1000);
+  for (auto _ : state) {
+    Ndb db;
+    (void)db.Load(text);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_ParseLocalDb);
+
+}  // namespace
+}  // namespace plan9
+
+BENCHMARK_MAIN();

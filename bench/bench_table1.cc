@@ -1,0 +1,265 @@
+// Table 1 (§8): throughput and latency of reading and writing bytes between
+// two processes, for four paths:
+//
+//     test          throughput MB/s   latency ms     (paper, 25 MHz MIPS)
+//     pipes               8.15           .255
+//     IL/ether            1.02           1.42
+//     URP/Datakit         0.22           1.75
+//     Cyclone             3.2            0.375
+//
+// "Throughput is measured using 16k writes from one process to another";
+// latency "as the round trip time for a byte sent from one process to
+// another and back again."  Media are configured at the paper's hardware
+// rates (Ether 10 Mb/s, Datakit ~2 Mb/s circuits, Cyclone 125 Mb/s); pipes
+// are pure memory.  See EXPERIMENTS.md for the shape discussion.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/svc/listen.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+using namespace plan9;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr size_t kWriteSize = 16 * 1024;
+
+struct Row {
+  const char* name;
+  double mbytes_per_sec;
+  double latency_ms;
+  double paper_tput;
+  double paper_lat;
+};
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Sink `total` bytes arriving on fd, then send a one-byte ack.
+void SinkThenAck(Proc* p, int fd, size_t total) {
+  Bytes buf(64 * 1024);
+  size_t got = 0;
+  while (got < total) {
+    auto n = p->Read(fd, buf.data(), buf.size());
+    if (!n.ok() || *n == 0) {
+      return;
+    }
+    got += *n;
+  }
+  (void)p->Write(fd, "!", 1);
+}
+
+// Throughput: writer pushes `total` bytes in 16K writes; remote sinks and
+// acks.  Returns MB/s.
+double Throughput(Proc* wp, int wfd, Proc* rp, int rfd, size_t total) {
+  std::thread sink([&] { SinkThenAck(rp, rfd, total); });
+  Bytes block(kWriteSize, 0x42);
+  auto t0 = Clock::now();
+  size_t sent = 0;
+  while (sent < total) {
+    auto n = wp->Write(wfd, block.data(), block.size());
+    if (!n.ok()) {
+      break;
+    }
+    sent += *n;
+  }
+  char ack;
+  (void)wp->Read(wfd, &ack, 1);
+  auto t1 = Clock::now();
+  sink.join();
+  return static_cast<double>(total) / (1024.0 * 1024.0) / Seconds(t0, t1);
+}
+
+// Latency: one-byte ping-pong round trips; remote echoes.  Returns ms/RTT.
+double Latency(Proc* wp, int wfd, Proc* rp, int rfd, int rounds) {
+  std::thread echo([&] {
+    char c;
+    for (int i = 0; i < rounds; i++) {
+      auto n = rp->Read(rfd, &c, 1);
+      if (!n.ok() || *n == 0) {
+        return;
+      }
+      (void)rp->Write(rfd, &c, 1);
+    }
+  });
+  char c = 'p';
+  auto t0 = Clock::now();
+  for (int i = 0; i < rounds; i++) {
+    (void)wp->Write(wfd, &c, 1);
+    (void)wp->Read(wfd, &c, 1);
+  }
+  auto t1 = Clock::now();
+  echo.join();
+  return Seconds(t0, t1) * 1000.0 / rounds;
+}
+
+const char kNdb[] =
+    "sys=helix\n\tip=135.104.9.31 dk=nj/astro/helix\n"
+    "sys=musca\n\tip=135.104.9.6 dk=nj/astro/musca\n"
+    "il=bench port=9999\n";
+
+struct TwoNodeWorld {
+  TwoNodeWorld() : ether(LinkParams::Ether10()) {
+    db = std::make_shared<Ndb>();
+    (void)db->Load(kNdb);
+    helix = std::make_unique<Node>("helix");
+    musca = std::make_unique<Node>("musca");
+    helix->AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                    Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+    musca->AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 2},
+                    Ipv4Addr::FromOctets(135, 104, 9, 6), Ipv4Addr{0xffffff00});
+    helix->AddDatakit(&dk, "nj/astro/helix");
+    musca->AddDatakit(&dk, "nj/astro/musca");
+    cyclone_link = std::make_unique<Wire>(LinkParams::Cyclone());
+    helix->AddCyclone(cyclone_link.get(), Wire::kA);
+    musca->AddCyclone(cyclone_link.get(), Wire::kB);
+    (void)BootNetwork(helix.get(), db, kNdb);
+    (void)BootNetwork(musca.get(), db, kNdb);
+  }
+  EtherSegment ether;
+  DatakitSwitch dk;
+  std::unique_ptr<Wire> cyclone_link;
+  std::shared_ptr<Ndb> db;
+  std::unique_ptr<Node> helix, musca;
+};
+
+// Set up a connected conversation on `net` between the two nodes; returns
+// (client proc, client fd, server proc, server fd).
+struct Conn {
+  std::unique_ptr<Proc> cp, sp;
+  int cfd = -1, sfd = -1;
+};
+
+Conn Connect(TwoNodeWorld& w, const std::string& dial_to, const std::string& announce) {
+  Conn c;
+  c.sp = w.musca->NewProc();
+  c.cp = w.helix->NewProc();
+  std::string adir;
+  auto afd = Announce(c.sp.get(), announce, &adir);
+  if (!afd.ok()) {
+    std::fprintf(stderr, "announce %s: %s\n", announce.c_str(),
+                 afd.error().message().c_str());
+    exit(1);
+  }
+  int server_fd = -1;
+  std::thread listener([&] {
+    std::string ldir;
+    auto lcfd = Listen(c.sp.get(), adir, &ldir);
+    if (!lcfd.ok()) {
+      return;
+    }
+    auto dfd = Accept(c.sp.get(), *lcfd, ldir);
+    if (dfd.ok()) {
+      server_fd = *dfd;
+    }
+  });
+  auto dfd = Dial(c.cp.get(), dial_to);
+  listener.join();
+  if (!dfd.ok() || server_fd < 0) {
+    std::fprintf(stderr, "dial %s: %s\n", dial_to.c_str(),
+                 dfd.ok() ? "accept failed" : dfd.error().message().c_str());
+    exit(1);
+  }
+  c.cfd = *dfd;
+  c.sfd = server_fd;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  size_t scale = quick ? 1 : 4;
+  int lat_rounds = quick ? 50 : 200;
+
+  TwoNodeWorld w;
+  Row rows[4] = {
+      {"pipes", 0, 0, 8.15, 0.255},
+      {"IL/ether", 0, 0, 1.02, 1.42},
+      {"URP/Datakit", 0, 0, 0.22, 1.75},
+      {"Cyclone", 0, 0, 3.2, 0.375},
+  };
+
+  // --- pipes ---------------------------------------------------------------
+  {
+    auto p = w.helix->NewProc();
+    auto pipe1 = p->Pipe().take();
+    rows[0].mbytes_per_sec =
+        Throughput(p.get(), pipe1.first, p.get(), pipe1.second, scale * 64 * 1024 * 1024);
+    auto pipe2 = p->Pipe().take();
+    rows[0].latency_ms =
+        Latency(p.get(), pipe2.first, p.get(), pipe2.second, lat_rounds * 10);
+  }
+
+  // --- IL over the 10 Mb/s Ethernet -----------------------------------------
+  {
+    auto conn = Connect(w, "il!135.104.9.6!9999", "il!*!9999");
+    rows[1].mbytes_per_sec = Throughput(conn.cp.get(), conn.cfd, conn.sp.get(),
+                                        conn.sfd, scale * 512 * 1024);
+    rows[1].latency_ms = Latency(conn.cp.get(), conn.cfd, conn.sp.get(), conn.sfd,
+                                 lat_rounds);
+  }
+
+  // --- URP over Datakit ------------------------------------------------------
+  {
+    auto conn = Connect(w, "dk!nj/astro/musca!bench", "dk!*!bench");
+    rows[2].mbytes_per_sec = Throughput(conn.cp.get(), conn.cfd, conn.sp.get(),
+                                        conn.sfd, scale * 256 * 1024);
+    rows[2].latency_ms = Latency(conn.cp.get(), conn.cfd, conn.sp.get(), conn.sfd,
+                                 lat_rounds);
+  }
+
+  // --- Cyclone fiber ---------------------------------------------------------
+  {
+    // Point-to-point: each node connects its end of link 0 by hand (the
+    // fiber has no listen).
+    auto cp = w.helix->NewProc();
+    auto sp = w.musca->NewProc();
+    auto ccfd = cp->Open("/net/cyclone/clone", kORdWr).take();
+    auto cnum = cp->ReadString(ccfd, 16).take();
+    (void)cp->WriteString(ccfd, "connect 0");
+    int cdfd = cp->Open("/net/cyclone/" + cnum + "/data", kORdWr).take();
+    auto scfd = sp->Open("/net/cyclone/clone", kORdWr).take();
+    auto snum = sp->ReadString(scfd, 16).take();
+    (void)sp->WriteString(scfd, "connect 0");
+    int sdfd = sp->Open("/net/cyclone/" + snum + "/data", kORdWr).take();
+
+    rows[3].mbytes_per_sec =
+        Throughput(cp.get(), cdfd, sp.get(), sdfd, scale * 8 * 1024 * 1024);
+    rows[3].latency_ms = Latency(cp.get(), cdfd, sp.get(), sdfd, lat_rounds);
+    (void)cp->Close(cdfd);
+    (void)cp->Close(ccfd);
+    (void)sp->Close(sdfd);
+    (void)sp->Close(scfd);
+  }
+
+  std::printf("\nTable 1 - Performance (16K writes; 1-byte RTT)\n");
+  std::printf("%-14s %12s %12s %14s %12s\n", "test", "MB/s", "ms",
+              "paper MB/s", "paper ms");
+  for (const auto& r : rows) {
+    std::printf("%-14s %12.2f %12.3f %14.2f %12.3f\n", r.name, r.mbytes_per_sec,
+                r.latency_ms, r.paper_tput, r.paper_lat);
+  }
+  std::printf(
+      "\nshape check: pipes > Cyclone > IL/ether > URP/Datakit : %s\n",
+      (rows[0].mbytes_per_sec > rows[3].mbytes_per_sec &&
+       rows[3].mbytes_per_sec > rows[1].mbytes_per_sec &&
+       rows[1].mbytes_per_sec > rows[2].mbytes_per_sec)
+          ? "HOLDS"
+          : "VIOLATED");
+  std::printf("latency shape: pipes < Cyclone < IL/ether < URP/Datakit : %s\n",
+              (rows[0].latency_ms < rows[3].latency_ms &&
+               rows[3].latency_ms < rows[1].latency_ms &&
+               rows[1].latency_ms < rows[2].latency_ms)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// ndb/csquery (§4.2): "a program that prompts for strings to write to
+// /net/cs and prints the replies."
+//
+// With no arguments it replays the paper's two example queries against the
+// paper's database; with arguments it queries those names.
+//
+//   % ndb/csquery
+//   > net!helix!9fs
+//   /net/il/clone 135.104.9.31!17008
+//   /net/dk/clone nj/astro/helix!9fs
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/ndb/ndb.h"
+#include "src/ns/proc.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+using namespace plan9;
+
+static const char kNdb[] = R"(ipnet=mh-astro-net ip=135.104.0.0
+	auth=p9auth
+	auth=musca
+sys=helix
+	dom=helix.research.bell-labs.com
+	ip=135.104.9.31 dk=nj/astro/helix
+sys=musca
+	dom=musca.research.bell-labs.com
+	ip=135.104.9.6 dk=nj/astro/musca
+sys=p9auth
+	ip=135.104.9.34 dk=nj/astro/p9auth
+il=9fs port=17008
+il=rexauth port=17021
+tcp=9fs port=564
+)";
+
+static void Query(Proc* p, const std::string& q) {
+  std::printf("> %s\n", q.c_str());
+  auto fd = p->Open("/net/cs", kORdWr);
+  if (!fd.ok()) {
+    std::printf("csquery: %s\n", fd.error().message().c_str());
+    return;
+  }
+  if (!p->WriteString(*fd, q).ok()) {
+    std::printf("csquery: translation failed\n");
+    (void)p->Close(*fd);
+    return;
+  }
+  (void)p->Seek(*fd, 0, kSeekSet);
+  for (;;) {
+    auto line = p->ReadString(*fd);
+    if (!line.ok() || line->empty()) {
+      break;
+    }
+    std::printf("%s\n", line->c_str());
+  }
+  (void)p->Close(*fd);
+}
+
+int main(int argc, char** argv) {
+  auto db = std::make_shared<Ndb>();
+  (void)db->Load(kNdb);
+  db->BuildIndex("sys");
+  db->BuildIndex("dom");
+  EtherSegment ether(LinkParams::Ether10());
+  DatakitSwitch dk;
+  Node helix("helix");
+  helix.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                 Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+  helix.AddDatakit(&dk, "nj/astro/helix");
+  (void)BootNetwork(&helix, db, kNdb);
+
+  auto proc = helix.NewProc("presotto");
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; i++) {
+    queries.push_back(argv[i]);
+  }
+  if (queries.empty()) {
+    queries = {"net!helix!9fs", "net!$auth!rexauth"};
+  }
+  std::printf("%% ndb/csquery\n");
+  for (auto& q : queries) {
+    Query(proc.get(), q);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// The echo server of §5.2, transcribed from the paper's C listing.
+//
+//   afd = announce("tcp!*!echo", adir);
+//   for(;;){
+//       lcfd = listen(adir, ldir);
+//       switch(fork()){
+//       case 0:
+//           dfd = accept(lcfd, ldir);
+//           while((n = read(dfd, buf, sizeof(buf))) > 0)
+//               write(dfd, buf, n);
+//           exits(0);
+//       ...
+//
+// fork() becomes a kproc; everything else is line for line.  A client on a
+// second machine dials tcp!*!echo several times concurrently to show the
+// per-call processes.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/task/kproc.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+using namespace plan9;
+
+// The paper's echo_server(), C++ accent only.
+static int EchoServer(Proc* p, std::vector<Kproc>* kids) {
+  char adir[40], ldir[40];
+
+  std::string adir_s;
+  auto afd = Announce(p, "tcp!*!echo", &adir_s);
+  if (!afd.ok()) {
+    return -1;
+  }
+  std::snprintf(adir, sizeof adir, "%s", adir_s.c_str());
+
+  for (int calls = 0; calls < 3; calls++) {  // the paper loops forever
+    /* listen for a call */
+    std::string ldir_s;
+    auto lcfd = Listen(p, adir, &ldir_s);
+    if (!lcfd.ok()) {
+      return -1;
+    }
+    std::snprintf(ldir, sizeof ldir, "%s", ldir_s.c_str());
+
+    /* fork a process to echo */
+    kids->emplace_back("echo.kid", [p, lcfd = *lcfd, ldir_s] {
+      /* accept the call and open the data file */
+      auto dfd = Accept(p, lcfd, ldir_s);
+      if (!dfd.ok()) {
+        return;
+      }
+      /* echo until EOF */
+      char buf[256];
+      for (;;) {
+        auto n = p->Read(*dfd, buf, sizeof buf);
+        if (!n.ok() || *n == 0) {
+          break;
+        }
+        (void)p->Write(*dfd, buf, *n);
+      }
+      (void)p->Close(*dfd);
+      (void)p->Close(lcfd);
+    });
+  }
+  return 0;
+}
+
+static const char kNdb[] =
+    "sys=helix\n\tip=135.104.9.31\nsys=musca\n\tip=135.104.9.6\ntcp=echo port=7\n";
+
+int main() {
+  auto db = std::make_shared<Ndb>();
+  (void)db->Load(kNdb);
+  EtherSegment ether(LinkParams::Ether10());
+  Node helix("helix"), musca("musca");
+  helix.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                 Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+  musca.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 2},
+                 Ipv4Addr::FromOctets(135, 104, 9, 6), Ipv4Addr{0xffffff00});
+  (void)BootNetwork(&helix, db, kNdb);
+  (void)BootNetwork(&musca, db, kNdb);
+
+  auto server_proc = musca.NewProc("bootes");
+  std::vector<Kproc> kids;
+  Kproc server("echo.server", [&] {
+    if (EchoServer(server_proc.get(), &kids) < 0) {
+      std::fprintf(stderr, "echo server failed\n");
+    }
+  });
+
+  // Three concurrent clients from helix.
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; i++) {
+    clients.emplace_back([&, i] {
+      auto p = helix.NewProc("glenda");
+      auto fd = Dial(p.get(), "tcp!135.104.9.6!7");
+      if (!fd.ok()) {
+        std::fprintf(stderr, "client %d: dial: %s\n", i, fd.error().message().c_str());
+        return;
+      }
+      std::string msg = "client " + std::to_string(i) + " says hi";
+      (void)p->WriteString(*fd, msg);
+      std::string got;
+      char buf[64];
+      while (got.size() < msg.size()) {
+        auto n = p->Read(*fd, buf, sizeof buf);
+        if (!n.ok() || *n == 0) {
+          break;
+        }
+        got.append(buf, *n);
+      }
+      std::printf("client %d echoed: %s\n", i, got.c_str());
+      (void)p->Close(*fd);
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  server.Join();
+  for (auto& k : kids) {
+    k.Join();
+  }
+  std::printf("echo_server done\n");
+  return 0;
+}

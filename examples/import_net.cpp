@@ -1,0 +1,107 @@
+// The §6.1 gateway example.
+//
+//   philw-gnot% ls /net
+//   /net/cs
+//   /net/dk
+//   philw-gnot% import -a helix /net
+//   philw-gnot% ls /net
+//   /net/cs /net/dk /net/dns /net/ether0 /net/il /net/tcp /net/udp
+//
+// gnot is a terminal with only a Datakit connection.  After importing
+// helix's /net (union, -a: after), all of helix's networks are usable from
+// gnot — it dials TCP *through helix* to reach musca's echo service.
+#include <cstdio>
+
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/svc/exportfs.h"
+#include "src/svc/listen.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+using namespace plan9;
+
+static const char kNdb[] = R"(sys=helix
+	ip=135.104.9.31 dk=nj/astro/helix
+sys=musca
+	ip=135.104.9.6 dk=nj/astro/musca
+sys=gnot
+	dk=nj/astro/gnot
+tcp=echo port=7
+dk=exportfs
+)";
+
+static void Ls(Proc* p, const char* path) {
+  auto entries = p->ReadDir(path);
+  if (!entries.ok()) {
+    std::printf("ls: %s: %s\n", path, entries.error().message().c_str());
+    return;
+  }
+  for (auto& d : *entries) {
+    std::printf("%s/%s\n", path, d.name.c_str());
+  }
+}
+
+int main() {
+  auto db = std::make_shared<Ndb>();
+  (void)db->Load(kNdb);
+  EtherSegment ether(LinkParams::Ether10());
+  DatakitSwitch dk;
+  Node helix("helix"), musca("musca"), gnot("gnot");
+  helix.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                 Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+  musca.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 2},
+                 Ipv4Addr::FromOctets(135, 104, 9, 6), Ipv4Addr{0xffffff00});
+  helix.AddDatakit(&dk, "nj/astro/helix");
+  musca.AddDatakit(&dk, "nj/astro/musca");
+  gnot.AddDatakit(&dk, "nj/astro/gnot");
+  (void)BootNetwork(&helix, db, kNdb);
+  (void)BootNetwork(&musca, db, kNdb);
+  (void)BootNetwork(&gnot, db, kNdb);
+
+  // helix exports; musca serves echo over TCP.
+  auto exp = StartExportfs(std::shared_ptr<Proc>(helix.NewProc().release()),
+                           "dk!*!exportfs");
+  auto echo = StartEchoService(std::shared_ptr<Proc>(musca.NewProc().release()),
+                               "tcp!*!7");
+  if (!exp.ok() || !echo.ok()) {
+    std::fprintf(stderr, "services failed to start\n");
+    return 1;
+  }
+
+  auto proc = gnot.NewProcPrivate("philw");
+  std::printf("philw-gnot%% ls /net\n");
+  Ls(proc.get(), "/net");
+
+  std::printf("philw-gnot%% import -a helix /net\n");
+  if (!Import(proc.get(), "dk!nj/astro/helix!exportfs", "/net", "/net", kMAfter).ok()) {
+    std::fprintf(stderr, "import failed\n");
+    return 1;
+  }
+
+  std::printf("philw-gnot%% ls /net\n");
+  Ls(proc.get(), "/net");
+
+  // "All the networks connected to helix, not just Datakit, are now
+  // available in the terminal."
+  std::printf("philw-gnot%% dialing tcp through the imported stack...\n");
+  auto cfd = proc->Open("/net/tcp/clone", kORdWr);
+  if (!cfd.ok()) {
+    std::fprintf(stderr, "no tcp: %s\n", cfd.error().message().c_str());
+    return 1;
+  }
+  auto num = proc->ReadString(*cfd, 16);
+  (void)proc->WriteString(*cfd, "connect 135.104.9.6!7");
+  auto dfd = proc->Open("/net/tcp/" + *num + "/data", kORdWr);
+  if (!dfd.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", dfd.error().message().c_str());
+    return 1;
+  }
+  (void)proc->WriteString(*dfd, "hello musca, via helix");
+  auto reply = proc->ReadString(*dfd, 128);
+  std::printf("echo says: %s\n", reply.ok() ? reply->c_str() : "(error)");
+  (void)proc->Close(*dfd);
+  (void)proc->Close(*cfd);
+  std::printf("import_net done\n");
+  return 0;
+}

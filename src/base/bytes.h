@@ -1,0 +1,120 @@
+// Byte-buffer codec helpers.
+//
+// 9P1 and our protocol headers marshal integers little-endian with explicit
+// widths (the paper: ASCII for control, binary little-endian for 9P).  These
+// helpers keep the marshal/unmarshal code free of casts and bounds bugs.
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plan9 {
+
+using Bytes = std::vector<uint8_t>;
+
+// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) {
+    out_->push_back(static_cast<uint8_t>(v));
+    out_->push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+  // Fixed-width NUL-padded string field (9P1 style: NAMELEN=28 etc.).
+  void FixedString(std::string_view s, size_t width) {
+    size_t n = s.size() < width ? s.size() : width - 1;
+    out_->insert(out_->end(), s.begin(), s.begin() + static_cast<long>(n));
+    out_->insert(out_->end(), width - n, 0);
+  }
+  void Raw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+  void Raw(const Bytes& b) { Raw(b.data(), b.size()); }
+
+ private:
+  Bytes* out_;
+};
+
+// Bounds-checked little-endian decoder.  All getters return nullopt once the
+// buffer is exhausted; `ok()` reports whether any read failed.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() { return Take(1) ? data_[pos_ - 1] : 0; }
+  uint16_t U16() {
+    if (!Take(2)) {
+      return 0;
+    }
+    return static_cast<uint16_t>(data_[pos_ - 2]) |
+           static_cast<uint16_t>(data_[pos_ - 1]) << 8;
+  }
+  uint32_t U32() {
+    uint32_t lo = U16();
+    uint32_t hi = U16();
+    return lo | hi << 16;
+  }
+  uint64_t U64() {
+    uint64_t lo = U32();
+    uint64_t hi = U32();
+    return lo | hi << 32;
+  }
+  std::string FixedString(size_t width) {
+    if (!Take(width)) {
+      return {};
+    }
+    const char* start = reinterpret_cast<const char*>(data_ + pos_ - width);
+    size_t len = strnlen(start, width);
+    return std::string(start, len);
+  }
+  Bytes Raw(size_t n) {
+    if (!Take(n)) {
+      return {};
+    }
+    return Bytes(data_ + pos_ - n, data_ + pos_);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace plan9
+
+#endif  // SRC_BASE_BYTES_H_

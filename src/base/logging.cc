@@ -1,0 +1,47 @@
+#include "src/base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace plan9 {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("PLAN9_LOG");
+  return env != nullptr ? std::atoi(env) : 0;
+}()};
+
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), line.c_str());
+}
+
+}  // namespace plan9

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random source (xoshiro256**).  Every stochastic
+// element of the simulator (loss injection, initial sequence numbers, jitter)
+// draws from an explicitly seeded Rng so experiments replay exactly.
+#ifndef SRC_BASE_RAND_H_
+#define SRC_BASE_RAND_H_
+
+#include <cstdint>
+
+namespace plan9 {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double Double() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return Double() < p; }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace plan9
+
+#endif  // SRC_BASE_RAND_H_

@@ -1,0 +1,228 @@
+#include "src/dev/cyclone.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+namespace {
+constexpr uint8_t kTagData = 0;
+constexpr uint8_t kTagCredit = 1;
+}  // namespace
+
+class CycloneConv::Module : public StreamModule {
+ public:
+  explicit Module(CycloneConv* conv) : conv_(conv) {}
+  std::string_view name() const override { return "cyclone"; }
+
+  void DownPut(BlockPtr b) override {
+    if (b->type != BlockType::kData) {
+      return;
+    }
+    pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
+    if (!b->delim) {
+      return;
+    }
+    Bytes msg;
+    msg.swap(pending_);
+    Status s = conv_->SendMessage(msg);
+    if (!s.ok()) {
+      P9_LOG(kDebug) << "cyclone send: " << s.error().message();
+    }
+  }
+
+ private:
+  CycloneConv* conv_;
+  Bytes pending_;
+};
+
+CycloneConv::CycloneConv(CycloneProto* proto, int index) : proto_(proto) {
+  index_ = index;
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+}
+
+void CycloneConv::Recycle() {
+  QLockGuard guard(lock_);
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+  connected_ = false;
+  link_ = -1;
+  wire_ = nullptr;
+  outstanding_ = 0;
+  in_use_ = true;
+}
+
+Status CycloneConv::Ctl(const std::string& msg) {
+  auto words = Tokenize(msg);
+  if (words.empty()) {
+    return Error(kErrBadCtl);
+  }
+  if (words[0] == "connect" && words.size() >= 2) {
+    auto n = ParseU64(words[1]);
+    if (!n) {
+      return Error(kErrBadAddr);
+    }
+    QLockGuard pguard(proto_->lock_);
+    if (*n >= proto_->links_.size()) {
+      return Error("no such fiber link");
+    }
+    auto& link = proto_->links_[*n];
+    if (link.bound != nullptr) {
+      return Error(kErrInUse);
+    }
+    link.bound = this;
+    {
+      QLockGuard guard(lock_);
+      link_ = static_cast<int>(*n);
+      wire_ = link.wire;
+      wend_ = link.end;
+      connected_ = true;
+    }
+    link.wire->Attach(link.end, [this](Bytes frame) { WireInput(std::move(frame)); });
+    return Status::Ok();
+  }
+  if (words[0] == "hangup") {
+    CloseUser();
+    return Status::Ok();
+  }
+  return Error(kErrBadCtl);
+}
+
+Status CycloneConv::WaitReady() {
+  QLockGuard guard(lock_);
+  if (!connected_) {
+    return Error("not connected to a fiber");
+  }
+  return Status::Ok();
+}
+
+Result<int> CycloneConv::Listen() {
+  return Error("cyclone: point-to-point, no listen");
+}
+
+std::string CycloneConv::Local() {
+  QLockGuard guard(lock_);
+  return StrFormat("cyclone!%d\n", link_);
+}
+
+std::string CycloneConv::Remote() { return Local(); }
+
+std::string CycloneConv::StatusText() {
+  QLockGuard guard(lock_);
+  return StrFormat("cyclone/%d %d %s link %d\n", index_, refs.load(),
+                   connected_ ? "Established" : "Closed", link_);
+}
+
+void CycloneConv::CloseUser() {
+  int link;
+  {
+    QLockGuard guard(lock_);
+    link = link_;
+    connected_ = false;
+    in_use_ = false;
+    link_ = -1;
+  }
+  if (link >= 0) {
+    QLockGuard pguard(proto_->lock_);
+    if (static_cast<size_t>(link) < proto_->links_.size() &&
+        proto_->links_[link].bound == this) {
+      proto_->links_[link].wire->Detach(proto_->links_[link].end);
+      proto_->links_[link].bound = nullptr;
+    }
+  }
+  TimerWheel::Default().Drain();
+  stream_->Hangup();
+  credit_.Wakeup();
+}
+
+Status CycloneConv::SendMessage(const Bytes& msg) {
+  Wire* wire = nullptr;
+  Wire::End end = Wire::kA;
+  {
+    QLockGuard guard(lock_);
+    credit_.Sleep(guard, [&] { return !connected_ || outstanding_ < kMaxOutstanding; });
+    if (!connected_) {
+      return Error(kErrHungup);
+    }
+    outstanding_ += msg.size();
+    wire = wire_;
+    end = wend_;
+  }
+  Bytes frame;
+  frame.reserve(1 + msg.size());
+  frame.push_back(kTagData);
+  frame.insert(frame.end(), msg.begin(), msg.end());
+  return wire->Send(end, std::move(frame));
+}
+
+void CycloneConv::WireInput(Bytes frame) {
+  if (frame.empty()) {
+    return;
+  }
+  if (frame[0] == kTagCredit) {
+    if (frame.size() >= 5) {
+      uint32_t n = static_cast<uint32_t>(frame[1]) | static_cast<uint32_t>(frame[2]) << 8 |
+                   static_cast<uint32_t>(frame[3]) << 16 |
+                   static_cast<uint32_t>(frame[4]) << 24;
+      QLockGuard guard(lock_);
+      outstanding_ = n > outstanding_ ? 0 : outstanding_ - n;
+    }
+    credit_.Wakeup();
+    return;
+  }
+  // Data: deliver and return credit for the consumed bytes.
+  size_t n = frame.size() - 1;
+  stream_->DeliverUp(
+      MakeDataBlock(Bytes(frame.begin() + 1, frame.end()), /*delim=*/true));
+  Wire* wire = nullptr;
+  Wire::End end = Wire::kA;
+  {
+    QLockGuard guard(lock_);
+    if (!connected_) {
+      return;
+    }
+    wire = wire_;
+    end = wend_;
+  }
+  Bytes credit{kTagCredit, static_cast<uint8_t>(n), static_cast<uint8_t>(n >> 8),
+               static_cast<uint8_t>(n >> 16), static_cast<uint8_t>(n >> 24)};
+  (void)wire->Send(end, std::move(credit));
+}
+
+int CycloneProto::AddLink(Wire* wire, Wire::End end) {
+  QLockGuard guard(lock_);
+  links_.push_back(Link{wire, end, nullptr});
+  return static_cast<int>(links_.size() - 1);
+}
+
+Result<NetConv*> CycloneProto::Clone() {
+  QLockGuard guard(lock_);
+  for (auto& c : convs_) {
+    bool reusable;
+    {
+      QLockGuard cguard(c->lock_);
+      reusable = !c->in_use_ && c->refs.load() == 0;
+    }
+    if (reusable) {
+      c->Recycle();
+      return static_cast<NetConv*>(c.get());
+    }
+  }
+  if (convs_.size() >= MaxConvs()) {
+    return Error(kErrNoConv);
+  }
+  convs_.push_back(std::make_unique<CycloneConv>(this, static_cast<int>(convs_.size())));
+  convs_.back()->Recycle();
+  return static_cast<NetConv*>(convs_.back().get());
+}
+
+NetConv* CycloneProto::Conv(size_t index) {
+  QLockGuard guard(lock_);
+  return index < convs_.size() ? convs_[index].get() : nullptr;
+}
+
+size_t CycloneProto::ConvCount() {
+  QLockGuard guard(lock_);
+  return convs_.size();
+}
+
+}  // namespace plan9

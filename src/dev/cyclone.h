@@ -1,0 +1,89 @@
+// Cyclone fiber links (§7).
+//
+// "The file servers and CPU servers are connected by high-bandwidth
+// point-to-point links...  Software in the VME card reduces latency by
+// copying messages from system memory to fiber without intermediate
+// buffering."  A Cyclone link carries delimited messages (9P rides on it
+// directly, unframed).  We expose each link as a conversation of the
+// /net/cyclone protocol device: `connect N` attaches to link N; there is no
+// addressing — the fiber has exactly one other end.
+//
+// A simple credit scheme (the receiver acknowledges consumed bytes) bounds
+// the data in flight, standing in for the VME card's staging discipline.
+#ifndef SRC_DEV_CYCLONE_H_
+#define SRC_DEV_CYCLONE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/inet/netproto.h"
+#include "src/sim/wire.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class CycloneProto;
+
+class CycloneConv : public NetConv {
+ public:
+  CycloneConv(CycloneProto* proto, int index);
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override;
+  std::string Local() override;
+  std::string Remote() override;
+  std::string StatusText() override;
+  void CloseUser() override;
+
+ private:
+  friend class CycloneProto;
+  class Module;
+
+  static constexpr size_t kMaxOutstanding = 256 * 1024;
+
+  Status SendMessage(const Bytes& msg);
+  void WireInput(Bytes frame);
+  void Recycle();
+
+  CycloneProto* proto_;
+  QLock lock_;
+  Rendez credit_;
+  bool connected_ = false;
+  bool in_use_ = false;
+  int link_ = -1;
+  Wire* wire_ = nullptr;  // cached at connect: avoids proto lock on the data path
+  Wire::End wend_ = Wire::kA;
+  size_t outstanding_ = 0;
+};
+
+class CycloneProto : public NetProto {
+ public:
+  explicit CycloneProto() = default;
+
+  // Register one end of a fiber as link number `n` (sequential).  Returns
+  // the link number.  Wire not owned.
+  int AddLink(Wire* wire, Wire::End end);
+
+  std::string name() override { return "cyclone"; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+ private:
+  friend class CycloneConv;
+  struct Link {
+    Wire* wire;
+    Wire::End end;
+    CycloneConv* bound = nullptr;  // at most one conversation per fiber
+  };
+
+  QLock lock_;
+  std::vector<Link> links_;
+  std::vector<std::unique_ptr<CycloneConv>> convs_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_DEV_CYCLONE_H_

@@ -1,0 +1,424 @@
+#include "src/dev/devproto.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace {
+
+// Qid layout: [proto+1 : bits 20..27][conv+1 : bits 8..19][file kind : bits 0..7]
+uint32_t QidRoot() { return 1; }
+uint32_t QidProto(size_t p) { return static_cast<uint32_t>(p + 1) << 20; }
+uint32_t QidClone(size_t p) { return QidProto(p) | 1; }
+uint32_t QidConv(size_t p, size_t c) { return QidProto(p) | static_cast<uint32_t>(c + 1) << 8; }
+uint32_t QidFile(size_t p, size_t c, size_t kind) { return QidConv(p, c) | (kind + 2); }
+
+Result<std::string> SliceText(const std::string& text, uint64_t offset, uint32_t count) {
+  if (offset >= text.size()) {
+    return std::string();
+  }
+  return text.substr(offset, count);
+}
+
+class ProtoDirVnode;
+class ConvDirVnode;
+
+// ---------------------------------------------------------------------------
+
+class ConvFileVnode : public Vnode {
+ public:
+  ConvFileVnode(const NetDirVfs::Entry& entry, size_t proto_idx, NetConv* conv,
+                size_t file_kind, std::string file_name)
+      : entry_(entry),
+        proto_idx_(proto_idx),
+        conv_(conv),
+        file_kind_(file_kind),
+        file_name_(std::move(file_name)) {}
+
+  ~ConvFileVnode() override { ReleaseRef(); }
+
+  Qid qid() override {
+    return Qid{QidFile(proto_idx_, static_cast<size_t>(conv_->index()), file_kind_), 0};
+  }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = file_name_;
+    d.uid = conv_->owner();
+    d.gid = conv_->owner();
+    d.qid = qid();
+    d.mode = 0666;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    return Error(kErrNotDir);
+  }
+
+  Status Open(uint8_t mode, const std::string& user) override {
+    if (file_name_ == "listen") {
+      // "If the process opens the listen file it blocks until an incoming
+      // call is received. ... the open completes and returns a file
+      // descriptor pointing to the ctl file of the new connection."
+      auto idx = conv_->Listen();
+      if (!idx.ok()) {
+        return idx.error();
+      }
+      NetConv* accepted = entry_.proto->Conv(static_cast<size_t>(*idx));
+      if (accepted == nullptr) {
+        return Error("listen lost the call");
+      }
+      conv_ = accepted;
+      file_kind_ = 0;  // morph into the new conversation's ctl
+      file_name_ = "ctl";
+    } else if (file_name_ == "data") {
+      // "When the data file is opened the connection is established."
+      P9_RETURN_IF_ERROR(conv_->WaitReady());
+    }
+    conv_->refs.fetch_add(1);
+    holds_ref_ = true;
+    if (!conv_->owner().empty() && conv_->owner() == "network" && !user.empty()) {
+      conv_->set_owner(user);
+    }
+    return Status::Ok();
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    if (file_name_ == "ctl") {
+      auto text = SliceText(StrFormat("%d", conv_->index()), offset, count);
+      return ToBytes(*text);
+    }
+    if (file_name_ == "data") {
+      Bytes buf(count);
+      auto n = conv_->Read(buf.data(), buf.size());
+      if (!n.ok()) {
+        return n.error();
+      }
+      buf.resize(*n);
+      return buf;
+    }
+    auto text = entry_.files->InfoText(conv_, file_name_);
+    if (!text.ok()) {
+      return text.error();
+    }
+    auto sliced = SliceText(*text, offset, count);
+    return ToBytes(*sliced);
+  }
+
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
+    if (file_name_ == "ctl") {
+      P9_RETURN_IF_ERROR(conv_->Ctl(ToString(data)));
+      return static_cast<uint32_t>(data.size());
+    }
+    if (file_name_ == "data") {
+      auto n = conv_->Write(data.data(), data.size());
+      if (!n.ok()) {
+        return n.error();
+      }
+      return static_cast<uint32_t>(*n);
+    }
+    return Error(kErrPerm);
+  }
+
+  void Close(uint8_t mode) override { ReleaseRef(); }
+
+ private:
+  void ReleaseRef() {
+    if (holds_ref_ && conv_->refs.fetch_sub(1) == 1) {
+      // "A connection remains established while any of the files in the
+      // connection directory are referenced..."  Last reference: shut down.
+      conv_->CloseUser();
+    }
+    holds_ref_ = false;
+  }
+
+  NetDirVfs::Entry entry_;
+  size_t proto_idx_;
+  NetConv* conv_;
+  size_t file_kind_;
+  std::string file_name_;
+  bool holds_ref_ = false;
+};
+
+// The clone file: opening it reserves a conversation and the open fd behaves
+// as that conversation's ctl file.
+class CloneVnode : public Vnode {
+ public:
+  CloneVnode(const NetDirVfs::Entry& entry, size_t proto_idx)
+      : entry_(entry), proto_idx_(proto_idx) {}
+
+  ~CloneVnode() override { ReleaseRef(); }
+
+  Qid qid() override {
+    if (conv_ != nullptr) {
+      return Qid{QidFile(proto_idx_, static_cast<size_t>(conv_->index()), 0), 0};
+    }
+    return Qid{QidClone(proto_idx_), 0};
+  }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = "clone";
+    d.qid = qid();
+    d.mode = 0666;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    return Error(kErrNotDir);
+  }
+
+  Status Open(uint8_t mode, const std::string& user) override {
+    auto conv = entry_.proto->Clone();
+    if (!conv.ok()) {
+      return conv.error();
+    }
+    conv_ = *conv;
+    conv_->refs.fetch_add(1);
+    conv_->set_owner(user.empty() ? "network" : user);
+    return Status::Ok();
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    if (conv_ == nullptr) {
+      return Error("clone not open");
+    }
+    auto text = SliceText(StrFormat("%d", conv_->index()), offset, count);
+    return ToBytes(*text);
+  }
+
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
+    if (conv_ == nullptr) {
+      return Error("clone not open");
+    }
+    P9_RETURN_IF_ERROR(conv_->Ctl(ToString(data)));
+    return static_cast<uint32_t>(data.size());
+  }
+
+  void Close(uint8_t mode) override { ReleaseRef(); }
+
+ private:
+  void ReleaseRef() {
+    if (conv_ != nullptr && conv_->refs.fetch_sub(1) == 1) {
+      conv_->CloseUser();
+    }
+    conv_ = nullptr;
+  }
+
+  NetDirVfs::Entry entry_;
+  size_t proto_idx_;
+  NetConv* conv_ = nullptr;
+};
+
+class ConvDirVnode : public Vnode {
+ public:
+  ConvDirVnode(const NetDirVfs::Entry& entry, size_t proto_idx, NetConv* conv,
+               std::shared_ptr<Vnode> parent)
+      : entry_(entry), proto_idx_(proto_idx), conv_(conv), parent_(std::move(parent)) {}
+
+  Qid qid() override {
+    return Qid{QidConv(proto_idx_, static_cast<size_t>(conv_->index())) | kQidDirBit, 0};
+  }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = StrFormat("%d", conv_->index());
+    d.uid = conv_->owner();
+    d.gid = conv_->owner();
+    d.qid = qid();
+    d.mode = kDmDir | 0555;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    if (name == ".") {
+      return std::shared_ptr<Vnode>(
+          std::make_shared<ConvDirVnode>(entry_, proto_idx_, conv_, parent_));
+    }
+    if (name == "..") {
+      return parent_;
+    }
+    auto names = entry_.files->ConvFileNames();
+    for (size_t k = 0; k < names.size(); k++) {
+      if (names[k] == name) {
+        return std::shared_ptr<Vnode>(
+            std::make_shared<ConvFileVnode>(entry_, proto_idx_, conv_, k, name));
+      }
+    }
+    return Error(kErrNotExist);
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    std::vector<Dir> entries;
+    auto names = entry_.files->ConvFileNames();
+    for (size_t k = 0; k < names.size(); k++) {
+      Dir d;
+      d.name = names[k];
+      d.uid = conv_->owner();
+      d.gid = conv_->owner();
+      d.qid = Qid{QidFile(proto_idx_, static_cast<size_t>(conv_->index()), k), 0};
+      d.mode = 0666;
+      d.type = 'I';
+      entries.push_back(std::move(d));
+    }
+    return PackDirEntries(entries, offset, count);
+  }
+
+ private:
+  NetDirVfs::Entry entry_;
+  size_t proto_idx_;
+  NetConv* conv_;
+  std::shared_ptr<Vnode> parent_;
+};
+
+class ProtoDirVnode : public Vnode,
+                      public std::enable_shared_from_this<ProtoDirVnode> {
+ public:
+  ProtoDirVnode(const NetDirVfs::Entry& entry, size_t proto_idx,
+                std::shared_ptr<Vnode> parent)
+      : entry_(entry), proto_idx_(proto_idx), parent_(std::move(parent)) {}
+
+  Qid qid() override { return Qid{QidProto(proto_idx_) | kQidDirBit, 0}; }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = entry_.proto->name();
+    d.qid = qid();
+    d.mode = kDmDir | 0555;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    if (name == ".") {
+      return std::shared_ptr<Vnode>(shared_from_this());
+    }
+    if (name == "..") {
+      return parent_ != nullptr ? parent_
+                                : std::shared_ptr<Vnode>(shared_from_this());
+    }
+    if (name == "clone") {
+      return std::shared_ptr<Vnode>(std::make_shared<CloneVnode>(entry_, proto_idx_));
+    }
+    auto num = ParseU64(name);
+    if (num.has_value()) {
+      NetConv* conv = entry_.proto->Conv(*num);
+      if (conv != nullptr) {
+        return std::shared_ptr<Vnode>(std::make_shared<ConvDirVnode>(
+            entry_, proto_idx_, conv, shared_from_this()));
+      }
+    }
+    return Error(kErrNotExist);
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    std::vector<Dir> entries;
+    Dir clone;
+    clone.name = "clone";
+    clone.qid = Qid{QidClone(proto_idx_), 0};
+    clone.mode = 0666;
+    clone.type = 'I';
+    entries.push_back(std::move(clone));
+    size_t n = entry_.proto->ConvCount();
+    for (size_t c = 0; c < n; c++) {
+      NetConv* conv = entry_.proto->Conv(c);
+      if (conv == nullptr) {
+        continue;
+      }
+      Dir d;
+      d.name = StrFormat("%zu", c);
+      d.uid = conv->owner();
+      d.gid = conv->owner();
+      d.qid = Qid{QidConv(proto_idx_, c) | kQidDirBit, 0};
+      d.mode = kDmDir | 0555;
+      d.type = 'I';
+      entries.push_back(std::move(d));
+    }
+    return PackDirEntries(entries, offset, count);
+  }
+
+ private:
+  NetDirVfs::Entry entry_;
+  size_t proto_idx_;
+  std::shared_ptr<Vnode> parent_;
+};
+
+class NetRootVnode : public Vnode, public std::enable_shared_from_this<NetRootVnode> {
+ public:
+  explicit NetRootVnode(const std::vector<NetDirVfs::Entry>* entries)
+      : entries_(entries) {}
+
+  Qid qid() override { return Qid{QidRoot() | kQidDirBit, 0}; }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = "net";
+    d.qid = qid();
+    d.mode = kDmDir | 0555;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    if (name == "." || name == "..") {
+      return std::shared_ptr<Vnode>(shared_from_this());
+    }
+    for (size_t p = 0; p < entries_->size(); p++) {
+      if ((*entries_)[p].proto->name() == name) {
+        return std::shared_ptr<Vnode>(std::make_shared<ProtoDirVnode>(
+            (*entries_)[p], p, shared_from_this()));
+      }
+    }
+    return Error(kErrNotExist);
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    std::vector<Dir> entries;
+    for (size_t p = 0; p < entries_->size(); p++) {
+      Dir d;
+      d.name = (*entries_)[p].proto->name();
+      d.qid = Qid{QidProto(p) | kQidDirBit, 0};
+      d.mode = kDmDir | 0555;
+      d.type = 'I';
+      entries.push_back(std::move(d));
+    }
+    return PackDirEntries(entries, offset, count);
+  }
+
+ private:
+  const std::vector<NetDirVfs::Entry>* entries_;
+};
+
+}  // namespace
+
+Result<std::string> ProtoFiles::InfoText(NetConv* conv, const std::string& file) {
+  if (file == "local") {
+    return conv->Local();
+  }
+  if (file == "remote") {
+    return conv->Remote();
+  }
+  if (file == "status") {
+    return conv->StatusText();
+  }
+  return Error(kErrNotExist);
+}
+
+NetDirVfs::NetDirVfs() : default_files_(std::make_unique<ProtoFiles>()) {}
+
+NetDirVfs::~NetDirVfs() = default;
+
+void NetDirVfs::Add(NetProto* proto, ProtoFiles* files) {
+  entries_.push_back(Entry{proto, files != nullptr ? files : default_files_.get()});
+}
+
+Result<std::shared_ptr<Vnode>> NetDirVfs::Attach(const std::string& uname,
+                                                 const std::string& aname) {
+  return std::shared_ptr<Vnode>(std::make_shared<NetRootVnode>(&entries_));
+}
+
+}  // namespace plan9

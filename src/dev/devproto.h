@@ -1,0 +1,71 @@
+// devproto — protocol devices as file trees (§2.3).
+//
+// "Each protocol device driver serves a directory structure similar to that
+// of the Ethernet driver.  The top directory contains a clone file and a
+// directory for each connection numbered 0 to n."
+//
+//   /net/tcp/clone
+//   /net/tcp/2/{ctl,data,listen,local,remote,status}
+//
+// The connection dance implemented here is the paper's §2.3 list:
+//   1) open clone -> reserves an unused conversation; the fd *is* its ctl
+//   2) read it    -> ASCII connection number
+//   3) write a protocol-specific ASCII address string ("connect 1.2.3.4!564")
+//   4) open the data file -> connection established (open blocks on the
+//      handshake)
+// and for listeners: open the listen file blocks until a call arrives and
+// the fd morphs into the ctl file of the new conversation.
+//
+// NetDirVfs aggregates several NetProtos into one mountable root so that
+// `bind -a` onto /net produces /net/tcp /net/udp /net/il ... (§6).
+#ifndef SRC_DEV_DEVPROTO_H_
+#define SRC_DEV_DEVPROTO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/inet/netproto.h"
+#include "src/ninep/server.h"
+
+namespace plan9 {
+
+// Extra per-protocol file surface beyond the NetConv basics.
+// Protocols may override the conversation file list (the ether driver has
+// ctl/data/stats/type instead of ctl/data/listen/local/remote/status) and
+// provide the text of info files.
+class ProtoFiles {
+ public:
+  virtual ~ProtoFiles() = default;
+  virtual std::vector<std::string> ConvFileNames() {
+    return {"ctl", "data", "listen", "local", "remote", "status"};
+  }
+  // Contents of an info file (local/remote/status/stats/type...).
+  virtual Result<std::string> InfoText(NetConv* conv, const std::string& file);
+};
+
+class NetDirVfs : public Vfs {
+ public:
+  struct Entry {
+    NetProto* proto;
+    ProtoFiles* files;  // nullptr -> default ProtoFiles
+  };
+
+  NetDirVfs();
+  ~NetDirVfs() override;
+
+  // Add a protocol directory (not owned).  files may be nullptr.
+  void Add(NetProto* proto, ProtoFiles* files = nullptr);
+
+  Result<std::shared_ptr<Vnode>> Attach(const std::string& uname,
+                                        const std::string& aname) override;
+
+ private:
+  friend class NetRootVnode;
+  std::vector<Entry> entries_;
+  std::unique_ptr<ProtoFiles> default_files_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_DEV_DEVPROTO_H_

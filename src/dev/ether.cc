@@ -1,0 +1,264 @@
+#include "src/dev/ether.h"
+
+#include "src/base/strings.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+// Stream device module: writes become transmissions.  The user supplies
+// [6-byte destination][payload]; the driver prepends the source address and
+// the connection's packet type.
+class EtherConv::Module : public StreamModule {
+ public:
+  explicit Module(EtherConv* conv) : conv_(conv) {}
+  std::string_view name() const override { return "ether"; }
+
+  void DownPut(BlockPtr b) override {
+    if (b->type != BlockType::kData) {
+      return;
+    }
+    pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
+    if (!b->delim) {
+      return;
+    }
+    Bytes frame;
+    frame.swap(pending_);
+    if (frame.size() < 6) {
+      return;  // no destination address
+    }
+    auto type = conv_->type();
+    if (!type.has_value()) {
+      return;  // not connected to a packet type
+    }
+    MacAddr dst;
+    std::copy_n(frame.begin(), 6, dst.begin());
+    Bytes payload(frame.begin() + 6, frame.end());
+    {
+      QLockGuard guard(conv_->lock_);
+      conv_->out_count_++;
+    }
+    (void)conv_->proto_->Transmit(
+        dst, *type < 0 ? uint16_t{0} : static_cast<uint16_t>(*type), std::move(payload));
+  }
+
+ private:
+  EtherConv* conv_;
+  Bytes pending_;
+};
+
+EtherConv::EtherConv(EtherProto* proto, int index) : proto_(proto) {
+  index_ = index;
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+}
+
+void EtherConv::Recycle() {
+  QLockGuard guard(lock_);
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+  type_.reset();
+  promiscuous_ = false;
+  in_count_ = out_count_ = drop_count_ = 0;
+  in_use_ = true;
+}
+
+Status EtherConv::Ctl(const std::string& msg) {
+  auto words = Tokenize(msg);
+  if (words.empty()) {
+    return Error(kErrBadCtl);
+  }
+  if (words[0] == "connect" && words.size() >= 2) {
+    // "Writing the string connect 2048 to the ctl file sets the packet type
+    // to 2048...  The special packet type -1 selects all packets."
+    auto type = ParseI64(words[1]);
+    if (!type || *type < -1 || *type > 0xffff) {
+      return Error(kErrBadArg);
+    }
+    QLockGuard guard(lock_);
+    type_ = static_cast<int32_t>(*type);
+    return Status::Ok();
+  }
+  if (words[0] == "promiscuous") {
+    {
+      QLockGuard guard(lock_);
+      promiscuous_ = true;
+    }
+    proto_->UpdatePromiscuity();
+    return Status::Ok();
+  }
+  if (words[0] == "hangup") {
+    CloseUser();
+    return Status::Ok();
+  }
+  return Error(kErrBadCtl);
+}
+
+Status EtherConv::WaitReady() {
+  QLockGuard guard(lock_);
+  if (!type_.has_value()) {
+    return Error("no packet type selected");
+  }
+  return Status::Ok();
+}
+
+std::string EtherConv::Local() {
+  return StrFormat("%s\n", MacToString(proto_->mac()).c_str());
+}
+
+std::string EtherConv::StatusText() {
+  QLockGuard guard(lock_);
+  return StrFormat("ether/%d %d type %d in %llu out %llu\n", index_, refs.load(),
+                   type_.has_value() ? *type_ : -2,
+                   static_cast<unsigned long long>(in_count_),
+                   static_cast<unsigned long long>(out_count_));
+}
+
+void EtherConv::CloseUser() {
+  {
+    QLockGuard guard(lock_);
+    type_.reset();
+    promiscuous_ = false;
+    in_use_ = false;
+  }
+  proto_->UpdatePromiscuity();
+  stream_->Hangup();
+}
+
+std::optional<int32_t> EtherConv::type() const {
+  QLockGuard guard(lock_);
+  return type_;
+}
+
+bool EtherConv::promiscuous() const {
+  QLockGuard guard(lock_);
+  return promiscuous_;
+}
+
+void EtherConv::Deliver(const EtherFrame& frame) {
+  {
+    QLockGuard guard(lock_);
+    if (!in_use_) {
+      return;
+    }
+    // Bounded input queueing: NICs drop when software lags.
+    if (stream_->head_queue().byte_count() > 512 * 1024) {
+      drop_count_++;
+      return;
+    }
+    in_count_++;
+  }
+  // Readers see the whole frame: dst, src, type, payload.
+  stream_->DeliverUp(MakeDataBlock(frame.Pack(), /*delim=*/true));
+}
+
+EtherProto::EtherProto(EtherSegment* segment, MacAddr mac, std::string name)
+    : name_(std::move(name)), segment_(segment), mac_(mac) {
+  station_ = segment_->Attach(mac_, [this](const EtherFrame& f) { Input(f); });
+}
+
+EtherProto::~EtherProto() {
+  segment_->Detach(station_);
+  TimerWheel::Default().Drain();
+}
+
+Result<NetConv*> EtherProto::Clone() {
+  QLockGuard guard(lock_);
+  for (auto& c : convs_) {
+    bool reusable;
+    {
+      QLockGuard cguard(c->lock_);
+      reusable = !c->in_use_ && c->refs.load() == 0;
+    }
+    if (reusable) {
+      c->Recycle();
+      return static_cast<NetConv*>(c.get());
+    }
+  }
+  if (convs_.size() >= MaxConvs()) {
+    return Error(kErrNoConv);
+  }
+  convs_.push_back(std::make_unique<EtherConv>(this, static_cast<int>(convs_.size())));
+  convs_.back()->Recycle();
+  return static_cast<NetConv*>(convs_.back().get());
+}
+
+NetConv* EtherProto::Conv(size_t index) {
+  QLockGuard guard(lock_);
+  return index < convs_.size() ? convs_[index].get() : nullptr;
+}
+
+size_t EtherProto::ConvCount() {
+  QLockGuard guard(lock_);
+  return convs_.size();
+}
+
+Result<std::string> EtherProto::InfoText(NetConv* conv, const std::string& file) {
+  auto* ec = static_cast<EtherConv*>(conv);
+  if (file == "type") {
+    // "Subsequent reads of the file type yield the string 2048."
+    auto type = ec->type();
+    return StrFormat("%d\n", type.has_value() ? *type : -2);
+  }
+  if (file == "stats") {
+    // "The stats file returns ASCII text containing the interface address,
+    // packet input/output counts, error statistics, and general information
+    // about the state of the interface."
+    MediaStats s = segment_->stats();
+    std::string out;
+    out += StrFormat("addr: %s\n", MacToString(mac_).c_str());
+    out += StrFormat("in: %llu\n", static_cast<unsigned long long>(s.frames_delivered));
+    out += StrFormat("out: %llu\n", static_cast<unsigned long long>(s.frames_sent));
+    out += StrFormat("drop: %llu\n", static_cast<unsigned long long>(s.frames_dropped));
+    out += StrFormat("oerrs: %llu\n", static_cast<unsigned long long>(s.send_errors));
+    out += ec->StatusText();
+    return out;
+  }
+  return ProtoFiles::InfoText(conv, file);
+}
+
+Status EtherProto::Transmit(MacAddr dst, uint16_t type, Bytes payload) {
+  EtherFrame frame;
+  frame.dst = dst;
+  frame.src = mac_;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  return segment_->Send(frame);
+}
+
+void EtherProto::UpdatePromiscuity() {
+  bool any = false;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      if (c->promiscuous()) {
+        any = true;
+        break;
+      }
+    }
+  }
+  segment_->SetPromiscuous(station_, any);
+}
+
+void EtherProto::Input(const EtherFrame& frame) {
+  // The multiplexing module of §2.4.3, hand coded: "If several connections
+  // on an interface are configured for a particular packet type, each
+  // receives a copy of the incoming packets."
+  std::vector<EtherConv*> matches;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      auto type = c->type();
+      if (!type.has_value()) {
+        continue;
+      }
+      bool match = *type == -1 || *type == static_cast<int32_t>(frame.type) ||
+                   c->promiscuous();
+      if (match) {
+        matches.push_back(c.get());
+      }
+    }
+  }
+  for (auto* c : matches) {
+    c->Deliver(frame);
+  }
+}
+
+}  // namespace plan9

@@ -1,0 +1,112 @@
+// The Ethernet driver (§2.2, Figure 1).
+//
+// "The LANCE Ethernet driver serves a two level file tree providing device
+// control and configuration, user-level protocols like ARP, and diagnostic
+// interfaces for snooping software."  Each connection directory corresponds
+// to an Ethernet packet type; the files are ctl, data, stats and type.
+//
+//   * `connect 2048` on ctl selects packet type 2048 (all IP packets);
+//   * type -1 selects all packets; `promiscuous` hears the whole cable;
+//   * "If several connections on an interface are configured for a
+//     particular packet type, each receives a copy of the incoming packets";
+//   * data reads return whole frames (dst src type payload); data writes
+//     supply dst+payload and the driver "append[s] a packet header
+//     containing the source address and packet type";
+//   * stats returns ASCII text with the interface address and packet
+//     input/output counts.
+//
+// EtherProto plugs into the generic devproto driver, giving the
+// clone/numbered-directory tree of Figure 1.
+#ifndef SRC_DEV_ETHER_H_
+#define SRC_DEV_ETHER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/dev/devproto.h"
+#include "src/inet/netproto.h"
+#include "src/sim/ether_segment.h"
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+class EtherProto;
+
+class EtherConv : public NetConv {
+ public:
+  EtherConv(EtherProto* proto, int index);
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override { return Error("ether: no listen"); }
+  std::string Local() override;
+  std::string Remote() override { return "\n"; }
+  std::string StatusText() override;
+  void CloseUser() override;
+
+  std::optional<int32_t> type() const;
+  bool promiscuous() const;
+
+ private:
+  friend class EtherProto;
+  class Module;
+
+  void Deliver(const EtherFrame& frame);
+  void Recycle();
+
+  EtherProto* proto_;
+  mutable QLock lock_;
+  std::optional<int32_t> type_;  // -1 = all packets
+  bool promiscuous_ = false;
+  bool in_use_ = false;
+  uint64_t in_count_ = 0;
+  uint64_t out_count_ = 0;
+  uint64_t drop_count_ = 0;
+};
+
+class EtherProto : public NetProto, public ProtoFiles {
+ public:
+  // Attaches a station on `segment` with address `mac`.  `name` is the
+  // directory name under /net (ether0).
+  EtherProto(EtherSegment* segment, MacAddr mac, std::string name = "ether0");
+  ~EtherProto() override;
+
+  // NetProto:
+  std::string name() override { return name_; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+  // ProtoFiles: Figure 1's per-connection files.
+  std::vector<std::string> ConvFileNames() override {
+    return {"ctl", "data", "stats", "type"};
+  }
+  Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
+
+  MacAddr mac() const { return mac_; }
+  EtherSegment* segment() { return segment_; }
+
+  // Transmit payload to dst with the given type (driver adds src).
+  Status Transmit(MacAddr dst, uint16_t type, Bytes payload);
+
+  void UpdatePromiscuity();
+
+  // Demultiplex one received frame to matching conversations (called from
+  // the segment callback; public for the demux benchmarks).
+  void Input(const EtherFrame& frame);
+
+ private:
+  friend class EtherConv;
+
+  std::string name_;
+  EtherSegment* segment_;
+  MacAddr mac_;
+  EtherSegment::StationId station_;
+  QLock lock_;
+  std::vector<std::unique_ptr<EtherConv>> convs_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_DEV_ETHER_H_

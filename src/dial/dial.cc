@@ -1,0 +1,202 @@
+#include "src/dial/dial.h"
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace {
+
+// One "filename message" candidate from name translation.
+struct Candidate {
+  std::string clone_path;  // "/net/il/clone"
+  std::string ctl_msg;     // "connect 135.104.9.31!17008"
+};
+
+// Translate a dial string into candidates.  Prefers the connection server;
+// falls back to literal addresses for cs-less nodes.
+Result<std::vector<Candidate>> Translate(Proc* p, const std::string& dest,
+                                         bool announce) {
+  std::vector<Candidate> out;
+  std::string verb = announce ? "announce" : "connect";
+
+  // Try CS: "A client writes a symbolic name to /net/cs then reads one line
+  // for each matching destination reachable from this system."
+  auto csfd = p->Open("/net/cs", kORdWr);
+  if (csfd.ok()) {
+    std::string query = announce ? "announce " + dest : dest;
+    if (p->WriteString(*csfd, query).ok()) {
+      (void)p->Seek(*csfd, 0, kSeekSet);
+      for (;;) {
+        auto line = p->ReadString(*csfd);
+        if (!line.ok() || line->empty()) {
+          break;
+        }
+        auto fields = Tokenize(*line);
+        if (fields.size() >= 2) {
+          out.push_back(Candidate{fields[0], verb + " " + fields[1]});
+        }
+      }
+    }
+    (void)p->Close(*csfd);
+    if (!out.empty()) {
+      return out;
+    }
+  }
+
+  // Fallback: "Dial accepts addresses instead of symbolic names."
+  auto parts = GetFields(dest, "!", /*collapse=*/false);
+  if (parts.size() < 2) {
+    return Error(kErrBadAddr);
+  }
+  const std::string& net = parts[0];
+  if (net == "net") {
+    return Error("no connection server to resolve 'net'");
+  }
+  std::string rest = parts[1];
+  for (size_t i = 2; i < parts.size(); i++) {
+    rest += "!" + parts[i];
+  }
+  if (announce) {
+    // announce tcp!*!564 -> "announce *!564"; dk services pass through.
+    out.push_back(Candidate{"/net/" + net + "/clone", "announce " + rest});
+  } else {
+    out.push_back(Candidate{"/net/" + net + "/clone", "connect " + rest});
+  }
+  return out;
+}
+
+// Open the clone file, learn the conversation directory, send the ctl msg.
+// On success returns the open ctl fd and fills conn_dir.
+Result<int> CloneAndCtl(Proc* p, const Candidate& cand, std::string* conn_dir) {
+  P9_ASSIGN_OR_RETURN(int cfd, p->Open(cand.clone_path, kORdWr));
+  auto num = p->ReadString(cfd, 32);
+  if (!num.ok()) {
+    (void)p->Close(cfd);
+    return num.error();
+  }
+  Status wrote = p->WriteString(cfd, cand.ctl_msg);
+  if (!wrote.ok()) {
+    (void)p->Close(cfd);
+    return wrote.error();
+  }
+  // ".../tcp/clone" -> ".../tcp/<n>"
+  std::string proto_dir = cand.clone_path;
+  auto slash = proto_dir.rfind('/');
+  proto_dir.resize(slash);
+  *conn_dir = proto_dir + "/" + std::string(TrimSpace(*num));
+  return cfd;
+}
+
+}  // namespace
+
+std::string NetMkAddr(const std::string& addr, const std::string& defnet,
+                      const std::string& defsvc) {
+  auto parts = GetFields(addr, "!", /*collapse=*/false);
+  if (parts.size() >= 3 || (parts.size() == 2 && defsvc.empty())) {
+    return addr;
+  }
+  std::string net = defnet.empty() ? "net" : defnet;
+  if (parts.size() == 2) {
+    return addr + "!" + defsvc;
+  }
+  if (defsvc.empty()) {
+    return net + "!" + addr;
+  }
+  return net + "!" + addr + "!" + defsvc;
+}
+
+Result<int> Dial(Proc* p, const std::string& dest, std::string* dir, int* cfd) {
+  P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                      Translate(p, dest, /*announce=*/false));
+  Error last{std::string(kErrBadAddr)};
+  // "Dial uses CS to translate the symbolic name to all possible destination
+  // addresses and attempts to connect to each in turn until one works."
+  for (const auto& cand : candidates) {
+    std::string conn_dir;
+    auto ctl = CloneAndCtl(p, cand, &conn_dir);
+    if (!ctl.ok()) {
+      last = ctl.error();
+      continue;
+    }
+    auto dfd = p->Open(conn_dir + "/data", kORdWr);
+    if (!dfd.ok()) {
+      last = dfd.error();
+      (void)p->Close(*ctl);
+      continue;
+    }
+    if (dir != nullptr) {
+      *dir = conn_dir;
+    }
+    if (cfd != nullptr) {
+      *cfd = *ctl;
+    } else {
+      (void)p->Close(*ctl);
+    }
+    return dfd;
+  }
+  return last;
+}
+
+Result<int> Announce(Proc* p, const std::string& addr, std::string* dir) {
+  P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                      Translate(p, addr, /*announce=*/true));
+  Error last{std::string(kErrBadAddr)};
+  for (const auto& cand : candidates) {
+    std::string conn_dir;
+    auto ctl = CloneAndCtl(p, cand, &conn_dir);
+    if (!ctl.ok()) {
+      last = ctl.error();
+      continue;
+    }
+    if (dir != nullptr) {
+      *dir = conn_dir;
+    }
+    return ctl;
+  }
+  return last;
+}
+
+Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir) {
+  // "If the process opens the listen file it blocks until an incoming call
+  // is received...  Reading the ctl file yields a connection number used to
+  // construct the path of the data file."
+  P9_ASSIGN_OR_RETURN(int lcfd, p->Open(dir + "/listen", kORdWr));
+  auto num = p->ReadString(lcfd, 32);
+  if (!num.ok()) {
+    (void)p->Close(lcfd);
+    return num.error();
+  }
+  std::string proto_dir = dir;
+  auto slash = proto_dir.rfind('/');
+  proto_dir.resize(slash);
+  if (ldir != nullptr) {
+    *ldir = proto_dir + "/" + std::string(TrimSpace(*num));
+  }
+  return lcfd;
+}
+
+Result<int> Accept(Proc* p, int ctl, const std::string& ldir) {
+  // IP networks accept implicitly; Datakit needs the word.
+  (void)p->WriteString(ctl, "accept");
+  return p->Open(ldir + "/data", kORdWr);
+}
+
+Status Reject(Proc* p, int ctl, const std::string& ldir, const std::string& reason) {
+  Status s = p->WriteString(ctl, "reject " + reason);
+  (void)p->Close(ctl);
+  return s;
+}
+
+bool DialPathDelimited(const std::string& conn_dir) {
+  // "/net/il/3" -> "il".  TCP is the odd one out (and udp is unreliable —
+  // no 9P over it at all).
+  auto fields = GetFields(conn_dir, "/");
+  for (size_t i = 0; i + 1 < fields.size(); i++) {
+    if (fields[i] == "net" || i + 2 == fields.size()) {
+      const std::string& proto = fields[i + (fields[i] == "net" ? 1 : 0)];
+      return proto != "tcp" && proto != "udp";
+    }
+  }
+  return true;
+}
+
+}  // namespace plan9

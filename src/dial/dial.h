@@ -1,0 +1,60 @@
+// The connection library (§5).
+//
+// "The dance is straightforward but tedious.  Library routines are provided
+// to relieve the programmer of the details."  These are the paper's five
+// routines, operating through a Proc's name space, so they work identically
+// on local protocol devices and on a /net imported from another machine
+// (§6.1's gateway property).
+//
+//   fd = dial("net!research.bell-labs.com!login", 0, dir, &cfd);
+//   afd = announce("tcp!*!echo", adir);
+//   lcfd = listen(adir, ldir);
+//   dfd = accept(lcfd, ldir);  /  reject(lcfd, ldir, "too busy");
+//
+// Name translation is delegated to the connection server when /net/cs
+// exists (§4.2); otherwise a built-in fallback handles literal addresses
+// ("tcp!135.104.117.5!513").
+#ifndef SRC_DIAL_DIAL_H_
+#define SRC_DIAL_DIAL_H_
+
+#include <string>
+
+#include "src/base/result.h"
+#include "src/ns/proc.h"
+
+namespace plan9 {
+
+// Establish a connection to `dest` ("net!host!service").  Returns an open
+// fd for the data file.  If `dir` is non-null it receives the connection
+// directory path ("/net/il/3"); if `cfd` is non-null it receives an open fd
+// for the ctl file (caller closes), else the ctl fd is closed.
+Result<int> Dial(Proc* p, const std::string& dest, std::string* dir = nullptr,
+                 int* cfd = nullptr);
+
+// Announce `addr` ("tcp!*!echo"); returns an open ctl fd (keep it open: "an
+// announcement remains in force until the control file is closed").  `dir`
+// receives the protocol directory of the announcement.
+Result<int> Announce(Proc* p, const std::string& addr, std::string* dir);
+
+// Block for an incoming call on the announcement at `dir`; returns an open
+// ctl fd for the new connection, and its directory in `ldir`.
+Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir);
+
+// Accept the call: returns an open data fd.
+Result<int> Accept(Proc* p, int ctl, const std::string& ldir);
+
+// Reject the call with a reason (networks that cannot carry one ignore it).
+Status Reject(Proc* p, int ctl, const std::string& ldir, const std::string& reason);
+
+// "helix" -> "net!helix!9fs" style defaulting, as in Plan 9's netmkaddr.
+std::string NetMkAddr(const std::string& addr, const std::string& defnet,
+                      const std::string& defsvc);
+
+// True if the destination's final element names a protocol that preserves
+// message delimiters end-to-end (il, dk, cyclone, pipes) — decides whether
+// 9P needs the framing marshal (TCP).
+bool DialPathDelimited(const std::string& conn_dir);
+
+}  // namespace plan9
+
+#endif  // SRC_DIAL_DIAL_H_

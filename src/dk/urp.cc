@@ -1,0 +1,556 @@
+#include "src/dk/urp.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace {
+
+// Cell header: [type(1)][seq(1)][flags(1)][pad(1)] + payload.
+constexpr size_t kCellHeader = 4;
+constexpr uint8_t kTypeData = 0;
+constexpr uint8_t kTypeAck = 1;
+constexpr uint8_t kFlagBot = 1;  // beginning of message
+constexpr uint8_t kFlagEot = 2;  // end of message
+constexpr auto kUrpRto = std::chrono::microseconds(100'000);
+
+
+const char* StateName(DkConv::State s) {
+  switch (s) {
+    case DkConv::State::kIdle:
+      return "Idle";
+    case DkConv::State::kAnnounced:
+      return "Listen";
+    case DkConv::State::kIncoming:
+      return "Incoming";
+    case DkConv::State::kEstablished:
+      return "Established";
+    case DkConv::State::kClosed:
+      return "Closed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+class DkConv::Module : public StreamModule {
+ public:
+  explicit Module(DkConv* conv) : conv_(conv) {}
+  std::string_view name() const override { return "urp"; }
+
+  void DownPut(BlockPtr b) override {
+    if (b->type != BlockType::kData) {
+      return;
+    }
+    pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
+    if (!b->delim) {
+      return;
+    }
+    Bytes msg;
+    msg.swap(pending_);
+    Status s = conv_->SendMessage(msg);
+    if (!s.ok()) {
+      P9_LOG(kDebug) << "urp send: " << s.error().message();
+    }
+  }
+
+ private:
+  DkConv* conv_;
+  Bytes pending_;
+};
+
+DkConv::DkConv(DkProto* proto, int index) : proto_(proto) {
+  index_ = index;
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+}
+
+DkConv::~DkConv() {
+  TimerId t;
+  {
+    QLockGuard guard(lock_);
+    t = timer_;
+    timer_ = kNoTimer;
+  }
+  if (t != kNoTimer) {
+    TimerWheel::Default().Cancel(t);
+  }
+}
+
+void DkConv::Recycle() {
+  QLockGuard guard(lock_);
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+  state_ = State::kIdle;
+  remote_addr_.clear();
+  announced_service_.clear();
+  circuit_.reset();
+  call_.reset();
+  send_seq_ = send_una_ = recv_expect_ = 0;
+  out_.clear();
+  partial_.clear();
+  pending_.clear();
+  err_.clear();
+  stats_ = UrpStats{};
+}
+
+Status DkConv::Ctl(const std::string& msg) {
+  auto words = Tokenize(msg);
+  if (words.empty()) {
+    return Error(kErrBadCtl);
+  }
+  if (words[0] == "connect" && words.size() >= 2) {
+    {
+      QLockGuard guard(lock_);
+      if (state_ != State::kIdle) {
+        return Error("connection already in use");
+      }
+    }
+    auto circuit = proto_->dk()->Dial(proto_->host_name(), words[1]);
+    if (!circuit.ok()) {
+      return circuit.error();
+    }
+    {
+      QLockGuard guard(lock_);
+      remote_addr_ = words[1];
+    }
+    return AttachCircuit(*circuit, Wire::kA);
+  }
+  if (words[0] == "announce" && words.size() >= 2) {
+    QLockGuard guard(lock_);
+    if (state_ != State::kIdle) {
+      return Error("connection already in use");
+    }
+    announced_service_ = words[1];
+    state_ = State::kAnnounced;
+    return Status::Ok();
+  }
+  if (words[0] == "accept") {
+    return DoAccept();
+  }
+  if (words[0] == "reject") {
+    // "Some networks such as Datakit accept a reason for a rejection."
+    std::string reason = words.size() >= 2 ? words[1] : "rejected";
+    std::shared_ptr<DkCall> call;
+    {
+      QLockGuard guard(lock_);
+      call = call_;
+      state_ = State::kClosed;
+      err_ = reason;
+    }
+    if (call != nullptr) {
+      call->Reject(reason);
+    }
+    decided_.Wakeup();
+    stream_->Hangup();
+    {
+      QLockGuard guard(lock_);
+      slot_free_ = true;
+    }
+    return Status::Ok();
+  }
+  if (words[0] == "hangup") {
+    CloseUser();
+    return Status::Ok();
+  }
+  return Error(kErrBadCtl);
+}
+
+Status DkConv::DoAccept() {
+  std::shared_ptr<DkCall> call;
+  {
+    QLockGuard guard(lock_);
+    if (state_ != State::kIncoming) {
+      return state_ == State::kEstablished ? Status::Ok() : Error("no call to accept");
+    }
+    call = call_;
+  }
+  auto circuit = call->Accept();
+  if (circuit == nullptr) {
+    return Error("call vanished");
+  }
+  Status s = AttachCircuit(circuit, Wire::kB);
+  decided_.Wakeup();
+  return s;
+}
+
+Status DkConv::AttachCircuit(std::shared_ptr<DkCircuit> circuit, DkCircuit::End end) {
+  {
+    QLockGuard guard(lock_);
+    circuit_ = circuit;
+    end_ = end;
+    state_ = State::kEstablished;
+  }
+  circuit->Attach(
+      end, [this](Bytes cell) { CircuitInput(std::move(cell)); },
+      [this] { CircuitHangup(); });
+  return Status::Ok();
+}
+
+Status DkConv::WaitReady() {
+  // Opening the data file of an un-accepted incoming call accepts it (IP
+  // protocols auto-accept at listen; Datakit does it here).
+  {
+    QLockGuard guard(lock_);
+    if (state_ == State::kAnnounced) {
+      return Status::Ok();
+    }
+  }
+  (void)DoAccept();
+  QLockGuard guard(lock_);
+  bool done = decided_.SleepFor(guard, std::chrono::seconds(5), [&] {
+    return state_ == State::kEstablished || state_ == State::kClosed;
+  });
+  if (state_ == State::kEstablished) {
+    return Status::Ok();
+  }
+  return Error(!done ? std::string(kErrTimedOut)
+                     : (err_.empty() ? std::string(kErrConnRefused) : err_));
+}
+
+Result<int> DkConv::Listen() {
+  QLockGuard guard(lock_);
+  if (state_ != State::kAnnounced) {
+    return Error("not announced");
+  }
+  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  if (state_ == State::kClosed) {
+    return Error(kErrHungup);
+  }
+  int conv = pending_.front();
+  pending_.pop_front();
+  return conv;
+}
+
+std::string DkConv::Local() {
+  QLockGuard guard(lock_);
+  std::string addr = proto_->host_name();
+  if (state_ == State::kAnnounced && !announced_service_.empty()) {
+    addr += "!" + announced_service_;
+  }
+  return addr + "\n";
+}
+
+std::string DkConv::Remote() {
+  QLockGuard guard(lock_);
+  return remote_addr_ + "\n";
+}
+
+std::string DkConv::StatusText() {
+  QLockGuard guard(lock_);
+  return StrFormat("dk/%d %d %s %s\n", index_, refs.load(), StateName(state_),
+                   remote_addr_.empty() ? "announce" : "connect");
+}
+
+UrpStats DkConv::stats() {
+  QLockGuard guard(lock_);
+  return stats_;
+}
+
+void DkConv::CloseUser() {
+  std::deque<int> orphans;
+  std::shared_ptr<DkCircuit> circuit;
+  std::shared_ptr<DkCall> call;
+  {
+    QLockGuard guard(lock_);
+    orphans.swap(pending_);
+    circuit = circuit_;
+    call = call_;
+    state_ = State::kClosed;
+    if (timer_ != kNoTimer) {
+      TimerWheel::Default().Cancel(timer_);
+      timer_ = kNoTimer;
+    }
+    slot_free_ = true;
+  }
+  if (call != nullptr) {
+    call->Reject("hangup");
+  }
+  if (circuit != nullptr) {
+    circuit->Close(end_);
+  }
+  stream_->Hangup();
+  incoming_.Wakeup();
+  window_.Wakeup();
+  decided_.Wakeup();
+  for (int idx : orphans) {
+    if (NetConv* c = proto_->Conv(static_cast<size_t>(idx)); c != nullptr) {
+      c->CloseUser();
+    }
+  }
+}
+
+Status DkConv::SendMessage(const Bytes& msg) {
+  QLockGuard guard(lock_);
+  // Cut the message into cells, marking message boundaries (Datakit/URP
+  // preserves delimiters).
+  size_t ncells = msg.empty() ? 1 : (msg.size() + DkConv::kCellData - 1) / DkConv::kCellData;
+  for (size_t i = 0; i < ncells; i++) {
+    // Flow control: at most kWindow cells outstanding plus a modest queue.
+    window_.Sleep(guard, [&] { return state_ != State::kEstablished || out_.size() < 32; });
+    if (state_ != State::kEstablished) {
+      return Error(err_.empty() ? std::string(kErrHungup) : err_);
+    }
+    size_t off = i * DkConv::kCellData;
+    size_t len = std::min(DkConv::kCellData, msg.size() - off);
+    Cell cell;
+    cell.seq = 0;  // assigned when sent
+    cell.raw.reserve(kCellHeader + len);
+    cell.raw.push_back(kTypeData);
+    cell.raw.push_back(0);  // seq placeholder
+    uint8_t flags = 0;
+    if (i == 0) {
+      flags |= kFlagBot;
+    }
+    if (i + 1 == ncells) {
+      flags |= kFlagEot;
+    }
+    cell.raw.push_back(flags);
+    cell.raw.push_back(0);
+    cell.raw.insert(cell.raw.end(), msg.begin() + static_cast<long>(off),
+                    msg.begin() + static_cast<long>(off + len));
+    out_.push_back(std::move(cell));
+  }
+  stats_.msgs_sent++;
+  PumpLocked();
+  return Status::Ok();
+}
+
+void DkConv::PumpLocked() {
+  // Send queued cells while the window has room.
+  size_t inflight = static_cast<uint8_t>((send_seq_ - send_una_) & 7);
+  for (auto& cell : out_) {
+    if (cell.sent) {
+      continue;
+    }
+    if (inflight >= kWindow) {
+      break;
+    }
+    cell.seq = send_seq_;
+    cell.raw[1] = send_seq_;
+    send_seq_ = (send_seq_ + 1) & 7;
+    cell.sent = true;
+    inflight++;
+    stats_.cells_sent++;
+    (void)circuit_->Send(end_, cell.raw);
+  }
+  if (send_una_ != send_seq_ && timer_ == kNoTimer) {
+    ArmTimerLocked();
+  }
+}
+
+void DkConv::EmitAckLocked() {
+  Bytes ack{kTypeAck, recv_expect_, 0, 0};
+  (void)circuit_->Send(end_, std::move(ack));
+}
+
+void DkConv::ArmTimerLocked() {
+  if (dying_) {
+    return;
+  }
+  if (timer_ != kNoTimer) {
+    TimerWheel::Default().Cancel(timer_);
+  }
+  timer_ = TimerWheel::Default().Schedule(kUrpRto, [this] { TimerFire(); });
+}
+
+void DkConv::TimerFire() {
+  QLockGuard guard(lock_);
+  timer_ = kNoTimer;
+  if (state_ != State::kEstablished || send_una_ == send_seq_) {
+    return;
+  }
+  // Go-back-N: resend every outstanding cell.
+  for (auto& cell : out_) {
+    if (!cell.sent) {
+      break;
+    }
+    stats_.retransmits++;
+    (void)circuit_->Send(end_, cell.raw);
+  }
+  ArmTimerLocked();
+}
+
+void DkConv::CircuitInput(Bytes cell) {
+  std::vector<BlockPtr> deliveries;
+  {
+    QLockGuard guard(lock_);
+    if (cell.size() < kCellHeader || state_ != State::kEstablished) {
+      return;
+    }
+    uint8_t type = cell[0];
+    uint8_t seq = cell[1];
+    uint8_t flags = cell[2];
+    stats_.cells_received++;
+    if (type == kTypeAck) {
+      // Cumulative ack: seq = next cell the peer expects.
+      while (send_una_ != seq && send_una_ != send_seq_) {
+        if (!out_.empty()) {
+          out_.pop_front();
+        }
+        send_una_ = (send_una_ + 1) & 7;
+      }
+      if (send_una_ == send_seq_ && timer_ != kNoTimer) {
+        TimerWheel::Default().Cancel(timer_);
+        timer_ = kNoTimer;
+      }
+      PumpLocked();
+    } else if (type == kTypeData) {
+      if (seq != recv_expect_) {
+        // Out of order (go-back-N receiver accepts only in sequence);
+        // re-ack so the sender resynchronizes.
+        EmitAckLocked();
+      } else {
+        recv_expect_ = (recv_expect_ + 1) & 7;
+        if (flags & kFlagBot) {
+          partial_.clear();
+        }
+        partial_.insert(partial_.end(), cell.begin() + kCellHeader, cell.end());
+        if (flags & kFlagEot) {
+          stats_.msgs_received++;
+          deliveries.push_back(MakeDataBlock(std::move(partial_), /*delim=*/true));
+          partial_ = Bytes{};
+        }
+        EmitAckLocked();
+      }
+    }
+  }
+  for (auto& b : deliveries) {
+    stream_->DeliverUp(std::move(b));
+  }
+  window_.Wakeup();
+}
+
+void DkConv::CircuitHangup() {
+  {
+    QLockGuard guard(lock_);
+    state_ = State::kClosed;
+    err_ = kErrHungup;
+    if (timer_ != kNoTimer) {
+      TimerWheel::Default().Cancel(timer_);
+      timer_ = kNoTimer;
+    }
+  }
+  stream_->Hangup();
+  window_.Wakeup();
+  decided_.Wakeup();
+}
+
+DkProto::DkProto(DatakitSwitch* dk_switch, std::string host_name)
+    : switch_(dk_switch), host_name_(std::move(host_name)) {
+  (void)switch_->AttachHost(host_name_,
+                            [this](std::shared_ptr<DkCall> call) { IncomingCall(call); });
+}
+
+DkProto::~DkProto() {
+  switch_->DetachHost(host_name_);
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      TimerId t;
+      {
+        QLockGuard cguard(c->lock_);
+        c->dying_ = true;
+        t = c->timer_;
+        c->timer_ = kNoTimer;
+      }
+      if (t != kNoTimer) {
+        TimerWheel::Default().Cancel(t);
+      }
+    }
+  }
+  TimerWheel::Default().Drain();
+}
+
+Result<NetConv*> DkProto::Clone() {
+  auto conv = AllocConv();
+  if (!conv.ok()) {
+    return conv.error();
+  }
+  return static_cast<NetConv*>(*conv);
+}
+
+Result<DkConv*> DkProto::AllocConv() {
+  QLockGuard guard(lock_);
+  for (auto& c : convs_) {
+    bool reusable;
+    {
+      QLockGuard cguard(c->lock_);
+      reusable = c->slot_free_ && c->state_ == DkConv::State::kIdle && c->refs.load() == 0;
+    }
+    if (reusable) {
+      c->Recycle();
+      QLockGuard cguard(c->lock_);
+      c->slot_free_ = false;
+      return c.get();
+    }
+  }
+  if (convs_.size() >= MaxConvs()) {
+    return Error(kErrNoConv);
+  }
+  convs_.push_back(std::make_unique<DkConv>(this, static_cast<int>(convs_.size())));
+  DkConv* c = convs_.back().get();
+  QLockGuard cguard(c->lock_);
+  c->slot_free_ = false;
+  return c;
+}
+
+NetConv* DkProto::Conv(size_t index) {
+  QLockGuard guard(lock_);
+  return index < convs_.size() ? convs_[index].get() : nullptr;
+}
+
+size_t DkProto::ConvCount() {
+  QLockGuard guard(lock_);
+  return convs_.size();
+}
+
+void DkProto::IncomingCall(std::shared_ptr<DkCall> call) {
+  // Route to the conversation announced for this service; "*" hears
+  // anything not explicitly announced ("one can easily write the equivalent
+  // of the inetd program", §5.2).
+  DkConv* listener = nullptr;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      QLockGuard cguard(c->lock_);
+      if (c->state_ == DkConv::State::kAnnounced &&
+          c->announced_service_ == call->service()) {
+        listener = c.get();
+        break;
+      }
+    }
+    if (listener == nullptr) {
+      for (auto& c : convs_) {
+        QLockGuard cguard(c->lock_);
+        if (c->state_ == DkConv::State::kAnnounced && c->announced_service_ == "*") {
+          listener = c.get();
+          break;
+        }
+      }
+    }
+  }
+  if (listener == nullptr) {
+    call->Reject("no listener");
+    return;
+  }
+  auto spawned = AllocConv();
+  if (!spawned.ok()) {
+    call->Reject("no free conversations");
+    return;
+  }
+  DkConv* nc = *spawned;
+  {
+    QLockGuard guard(nc->lock_);
+    nc->state_ = DkConv::State::kIncoming;
+    nc->call_ = call;
+    nc->remote_addr_ = call->from() + "!" + call->service();
+  }
+  {
+    QLockGuard guard(listener->lock_);
+    listener->pending_.push_back(nc->index());
+  }
+  listener->incoming_.Wakeup();
+}
+
+}  // namespace plan9

@@ -1,0 +1,140 @@
+// URP over Datakit (§2.3, §8).
+//
+// The Datakit protocol device: conversations are virtual circuits through a
+// DatakitSwitch, with URP ("Universal Receiver Protocol" [Fra80]) providing
+// reliable windowed transmission over each circuit.  Addresses are ASCII
+// ("connect nj/astro/helix!9fs"); message delimiters are preserved, so 9P
+// runs over it unframed.  Datakit is the network that "accept[s] a reason
+// for a rejection" — the spawned incoming conversation understands
+// `accept` and `reject <reason>` ctl messages.
+//
+// URP here: cells of at most kCellData bytes, 3-bit sequence numbers, a
+// window of kWindow cells, cumulative ACK cells, go-back-N retransmission
+// on a fixed circuit timeout (Datakit circuits have stable latency, unlike
+// IP paths — contrast with IL's adaptive timers).
+#ifndef SRC_DK_URP_H_
+#define SRC_DK_URP_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/inet/netproto.h"
+#include "src/sim/datakit.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+struct UrpStats {
+  uint64_t cells_sent = 0;
+  uint64_t cells_received = 0;
+  uint64_t retransmits = 0;
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+};
+
+class DkProto;
+
+class DkConv : public NetConv {
+ public:
+  enum class State { kIdle, kAnnounced, kIncoming, kEstablished, kClosed };
+
+  static constexpr size_t kCellData = 1024;
+  static constexpr uint8_t kSeqMod = 8;
+  static constexpr uint8_t kWindow = 4;
+
+  DkConv(DkProto* proto, int index);
+  ~DkConv() override;
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override;
+  std::string Local() override;
+  std::string Remote() override;
+  std::string StatusText() override;
+  void CloseUser() override;
+
+  UrpStats stats();
+
+ private:
+  friend class DkProto;
+  class Module;
+  struct Cell {
+    uint8_t seq;
+    Bytes raw;  // full cell incl. header
+    bool sent = false;
+  };
+
+  Status AttachCircuit(std::shared_ptr<DkCircuit> circuit, DkCircuit::End end);
+  Status SendMessage(const Bytes& msg);
+  void CircuitInput(Bytes cell);
+  void CircuitHangup();
+  void PumpLocked();             // send cells while window allows
+  void EmitAckLocked();
+  void ArmTimerLocked();
+  void TimerFire();
+  Status DoAccept();
+  void Recycle();
+
+  DkProto* proto_;
+  QLock lock_;
+  Rendez window_;    // sender window space
+  Rendez incoming_;  // pending calls
+  Rendez decided_;   // incoming call accepted/rejected
+
+  State state_ = State::kIdle;
+  bool slot_free_ = true;
+  bool dying_ = false;  // proto teardown: never re-arm the timer
+  std::string remote_addr_;
+  std::string announced_service_;
+
+  std::shared_ptr<DkCircuit> circuit_;
+  DkCircuit::End end_ = Wire::kA;
+  std::shared_ptr<DkCall> call_;  // incoming, pre-accept
+
+  // URP sender.
+  uint8_t send_seq_ = 0;   // next sequence to assign
+  uint8_t send_una_ = 0;   // oldest unacknowledged
+  std::deque<Cell> out_;   // cells [send_una_ ...], window + queued
+  TimerId timer_ = kNoTimer;
+
+  // URP receiver.
+  uint8_t recv_expect_ = 0;
+  Bytes partial_;  // message being reassembled (BOT..EOT)
+
+  std::deque<int> pending_;
+  std::string err_;
+  UrpStats stats_;
+};
+
+class DkProto : public NetProto {
+ public:
+  // `host_name` is this machine's Datakit address ("nj/astro/helix").
+  DkProto(DatakitSwitch* dk_switch, std::string host_name);
+  ~DkProto() override;
+
+  std::string name() override { return "dk"; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+  DatakitSwitch* dk() { return switch_; }
+  const std::string& host_name() const { return host_name_; }
+
+ private:
+  friend class DkConv;
+
+  void IncomingCall(std::shared_ptr<DkCall> call);
+  Result<DkConv*> AllocConv();
+
+  DatakitSwitch* switch_;
+  std::string host_name_;
+  QLock lock_;
+  std::vector<std::unique_ptr<DkConv>> convs_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_DK_URP_H_

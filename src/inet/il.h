@@ -1,0 +1,184 @@
+// IL — the Internet Link protocol (§3).
+//
+// "IL is a lightweight protocol designed to be encapsulated by IP.  It is a
+// connection-based protocol providing reliable transmission of sequenced
+// messages between machines."  Key properties, all implemented here:
+//
+//   * reliable datagram service with sequenced delivery (message == one
+//     delimited block up the conversation stream);
+//   * no flow control beyond "a small outstanding message window" — senders
+//     block when the window fills, receivers discard out-of-window messages;
+//   * two-way handshake generating initial sequence numbers;
+//   * *query-based* retransmission: "IL does not do blind retransmission.
+//     If a message is lost and a timeout occurs, a query message is sent...
+//     The receiver responds to a query by retransmitting missing messages";
+//   * adaptive timeouts from a round-trip timer, "so the protocol performs
+//     well on both the Internet and on local Ethernets".
+//
+// Wire header (18 bytes, big-endian, IP protocol 40):
+//   sum[2] len[2] type[1] spec[1] src[2] dst[2] id[4] ack[4]
+#ifndef SRC_INET_IL_H_
+#define SRC_INET_IL_H_
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/inet/ip.h"
+#include "src/inet/netproto.h"
+#include "src/inet/portutil.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+enum class IlType : uint8_t {
+  kSync = 0,
+  kData = 1,
+  kDataQuery = 2,  // retransmitted data, provokes an immediate ack
+  kAck = 3,
+  kQuery = 4,  // "small control message containing the current sequence numbers"
+  kState = 5,  // reply to a query
+  kClose = 6,
+};
+
+struct IlConvStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t retransmits = 0;
+  uint64_t queries_sent = 0;
+  uint64_t states_sent = 0;
+  uint64_t dups_dropped = 0;
+  uint64_t out_of_window = 0;
+  std::chrono::microseconds srtt{0};
+};
+
+class IlProto;
+
+class IlConv : public NetConv {
+ public:
+  enum class State {
+    kClosed,
+    kSyncer,    // actively connecting
+    kSyncee,    // passively connecting (spawned by an announced conv)
+    kEstablished,
+    kListening,  // announced
+    kClosing,
+  };
+
+  // "A small outstanding message window prevents too many incoming messages
+  // from being buffered."
+  static constexpr uint32_t kWindow = 20;
+
+  IlConv(IlProto* proto, int index);
+  ~IlConv() override;
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override;
+  std::string Local() override;
+  std::string Remote() override;
+  std::string StatusText() override;
+  void CloseUser() override;
+
+  IlConvStats stats();
+
+ private:
+  friend class IlProto;
+  class Module;
+  struct Unacked {
+    uint32_t id;
+    Bytes payload;
+    TimerWheel::Clock::time_point sent_at;
+    bool retransmitted = false;
+  };
+
+  // All Locked() methods assume lock_ held.
+  Status StartConnect(const HostPort& dest);
+  Status SendMessage(const Bytes& payload);      // user data path
+  void Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint32_t ack,
+             Bytes payload);
+  void HandleAckLocked(uint32_t ack);
+  void DeliverDataLocked(uint32_t id, Bytes payload, bool is_query,
+                         std::vector<BlockPtr>* deliveries);
+  Status EmitLocked(IlType type, uint32_t id, uint32_t ack, const Bytes& payload);
+  void ArmTimerLocked(std::chrono::microseconds delay);
+  void TimerFire();
+  std::chrono::microseconds RtoLocked() const;
+  void RttSampleLocked(std::chrono::microseconds sample);
+  void HangupLocked();
+  void Recycle();
+
+  IlProto* proto_;
+  QLock lock_;
+  Rendez ready_;     // connect handshake completion
+  Rendez window_;    // sender window space
+  Rendez incoming_;  // pending calls on a listening conv
+
+  State state_ = State::kClosed;
+  bool slot_free_ = true;  // available for Clone()
+  bool dying_ = false;     // proto teardown: never re-arm the timer
+
+  Ipv4Addr laddr_, raddr_;
+  uint16_t lport_ = 0, rport_ = 0;
+
+  // Send side.
+  uint32_t start_ = 0;  // initial sequence chosen at handshake
+  uint32_t next_ = 0;   // id of the next message to send
+  std::deque<Unacked> unacked_;
+
+  // Receive side.
+  uint32_t rstart_ = 0;
+  uint32_t recvd_ = 0;  // highest in-sequence id received
+  std::map<uint32_t, Bytes> out_of_order_;
+
+  // Adaptive timing (§3: "a round-trip timer is used to calculate
+  // acknowledge and retransmission times in terms of the network speed").
+  std::chrono::microseconds srtt_{0};
+  std::chrono::microseconds mdev_{0};
+  int backoff_ = 0;
+  TimerId timer_ = kNoTimer;
+  TimerWheel::Clock::time_point last_rexmit_{};
+  uint32_t last_rexmit_id_ = 0;
+  int sync_tries_ = 0;
+  int close_tries_ = 0;
+
+  std::deque<int> pending_;  // incoming calls (listening conv)
+  std::string err_;          // why the conversation died
+  IlConvStats stats_;
+};
+
+class IlProto : public NetProto {
+ public:
+  explicit IlProto(IpStack* ip);
+  ~IlProto() override;
+
+  std::string name() override { return "il"; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+  IpStack* ip() { return ip_; }
+
+ private:
+  friend class IlConv;
+
+  void Input(const IpPacket& pkt);
+  Result<IlConv*> AllocConv();
+  IlConv* SpawnFromSync(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
+                        uint32_t peer_id, IlConv* listener);
+
+  IpStack* ip_;
+  QLock lock_;
+  std::vector<std::unique_ptr<IlConv>> convs_;
+  PortAlloc ports_;
+  Rng isn_rng_{0xc0ffee};
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_IL_H_

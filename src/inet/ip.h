@@ -1,0 +1,126 @@
+// The IP layer.
+//
+// Each node runs an IpStack: interfaces onto media (Ethernet segments via
+// ARP, point-to-point wires), a routing table, transport-protocol demux, and
+// RFC-791 fragmentation/reassembly.  Gateways (ipgw= in ndb) forward between
+// interfaces.  TCP, UDP and IL (§2.3/§3) register as protocol handlers.
+#ifndef SRC_INET_IP_H_
+#define SRC_INET_IP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/inet/ipaddr.h"
+#include "src/sim/ether_segment.h"
+#include "src/sim/wire.h"
+#include "src/task/qlock.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+// IP protocol numbers.
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+inline constexpr uint8_t kIpProtoIl = 40;  // Plan 9's IL rides protocol 40
+
+inline constexpr uint16_t kEtherTypeIp = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+
+// A parsed IP packet (post-reassembly when handed to protocols).
+struct IpPacket {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  uint8_t proto = 0;
+  uint8_t ttl = 0;
+  Bytes payload;
+};
+
+// RFC 1071 ones-complement checksum, used by IP/TCP/UDP/IL headers.
+uint16_t InetChecksum(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+struct IpStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_received = 0;
+  uint64_t packets_forwarded = 0;
+  uint64_t fragments_sent = 0;
+  uint64_t fragments_received = 0;
+  uint64_t reassembly_drops = 0;
+  uint64_t no_route = 0;
+  uint64_t bad_header = 0;
+  uint64_t unknown_proto = 0;
+};
+
+class IpStack {
+ public:
+  using ProtoHandler = std::function<void(const IpPacket&)>;
+
+  IpStack();
+  ~IpStack();
+
+  // --- interfaces ----------------------------------------------------------
+
+  // Ethernet interface: sends/receives IP + ARP frames on `segment`.
+  // Returns the interface index.
+  int AddEtherInterface(EtherSegment* segment, MacAddr mac, Ipv4Addr addr, Ipv4Addr mask);
+
+  // Point-to-point interface over a Wire end (Cyclone-style IP link).
+  int AddPtpInterface(Wire* wire, Wire::End end, Ipv4Addr local, Ipv4Addr remote);
+
+  // --- routing -------------------------------------------------------------
+
+  // Longest-prefix-match route; gateway 0 means directly attached.
+  void AddRoute(Ipv4Addr dest, Ipv4Addr mask, Ipv4Addr gateway, int ifc_index);
+  void SetDefaultGateway(Ipv4Addr gateway);
+  void EnableForwarding(bool on) { forwarding_ = on; }
+
+  // --- transports ----------------------------------------------------------
+
+  void RegisterProtocol(uint8_t proto, ProtoHandler handler);
+  // Transports must unregister (then TimerWheel::Drain) before destruction.
+  void UnregisterProtocol(uint8_t proto);
+
+  // Send `payload` as protocol `proto`.  src may be unspecified: the stack
+  // picks the outgoing interface's address.
+  Status Send(uint8_t proto, Ipv4Addr src, Ipv4Addr dst, const Bytes& payload);
+
+  // Source address the stack would use toward dst (for binding local ports).
+  Result<Ipv4Addr> SourceFor(Ipv4Addr dst);
+
+  // First configured address (identity for status files).
+  Ipv4Addr PrimaryAddr();
+
+  IpStats stats();
+
+ private:
+  struct Interface;
+  struct Route;
+  struct Reassembly;
+
+  void EtherInput(size_t ifc_index, const EtherFrame& frame);
+  void PtpInput(size_t ifc_index, Bytes frame);
+  void IpInput(size_t ifc_index, const Bytes& raw);
+  void Deliver(const IpPacket& pkt);
+  Status Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl, const Bytes& payload);
+  Status SendOnInterface(Interface& ifc, Ipv4Addr next_hop, const Bytes& ip_packet);
+  void ArpInput(size_t ifc_index, const EtherFrame& frame);
+  Result<const Route*> Lookup(Ipv4Addr dst);
+  void SweepReassembly();
+
+  QLock lock_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
+  std::vector<Route> routes_;
+  std::map<uint8_t, ProtoHandler> protocols_;
+  std::map<uint64_t, Reassembly> reassembly_;  // key: src<<32 | ident<<8 | proto
+  uint16_t next_ident_ = 1;
+  bool forwarding_ = false;
+  IpStats stats_;
+  TimerId sweep_timer_ = kNoTimer;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_IP_H_

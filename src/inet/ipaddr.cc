@@ -1,0 +1,39 @@
+#include "src/inet/ipaddr.h"
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+std::string IpToString(Ipv4Addr addr) {
+  return StrFormat("%u.%u.%u.%u", addr.v >> 24 & 0xff, addr.v >> 16 & 0xff,
+                   addr.v >> 8 & 0xff, addr.v & 0xff);
+}
+
+Result<Ipv4Addr> IpFromString(std::string_view s) {
+  auto parts = GetFields(s, ".", /*collapse=*/false);
+  if (parts.size() != 4) {
+    return Error(kErrBadAddr);
+  }
+  uint32_t v = 0;
+  for (auto& p : parts) {
+    auto octet = ParseU64(p);
+    if (!octet || *octet > 255) {
+      return Error(kErrBadAddr);
+    }
+    v = v << 8 | static_cast<uint32_t>(*octet);
+  }
+  return Ipv4Addr{v};
+}
+
+Ipv4Addr ClassMask(Ipv4Addr addr) {
+  uint32_t top = addr.v >> 24;
+  if (top < 128) {
+    return Ipv4Addr{0xff000000u};
+  }
+  if (top < 192) {
+    return Ipv4Addr{0xffff0000u};
+  }
+  return Ipv4Addr{0xffffff00u};
+}
+
+}  // namespace plan9

@@ -1,0 +1,39 @@
+// IPv4 addresses and address-string helpers.
+#ifndef SRC_INET_IPADDR_H_
+#define SRC_INET_IPADDR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+
+namespace plan9 {
+
+// Host-byte-order IPv4 address; 0 is "unspecified".
+struct Ipv4Addr {
+  uint32_t v = 0;
+
+  constexpr bool operator==(const Ipv4Addr&) const = default;
+  constexpr bool IsUnspecified() const { return v == 0; }
+  constexpr bool IsBroadcast() const { return v == 0xffffffffu; }
+
+  static constexpr Ipv4Addr FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return Ipv4Addr{static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+                    static_cast<uint32_t>(c) << 8 | d};
+  }
+};
+
+std::string IpToString(Ipv4Addr addr);            // "135.104.9.31"
+Result<Ipv4Addr> IpFromString(std::string_view s);
+
+// Classful default mask, as 1993 code would infer it (class A/B/C).
+Ipv4Addr ClassMask(Ipv4Addr addr);
+
+inline bool SameNet(Ipv4Addr a, Ipv4Addr b, Ipv4Addr mask) {
+  return (a.v & mask.v) == (b.v & mask.v);
+}
+
+}  // namespace plan9
+
+#endif  // SRC_INET_IPADDR_H_

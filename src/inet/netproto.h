@@ -1,0 +1,97 @@
+// The protocol-device contract (§2.3).
+//
+// "All protocol devices look identical so user programs contain no
+// network-specific code."  Every transport (TCP, UDP, IL over IP; URP over
+// Datakit) implements NetProto/NetConv; the devproto driver (src/dev) turns
+// one NetProto into the file tree /net/<proto>/{clone, 0/, 1/, ...} with
+// ctl/data/listen/local/remote/status files per conversation.
+//
+// Each conversation owns a Stream (§2.4) whose device module is the protocol
+// itself: user writes travel down the stream into the protocol's output
+// routine, and packets demultiplexed from the wire are put up the stream
+// into the head queue where reads find them.
+#ifndef SRC_INET_NETPROTO_H_
+#define SRC_INET_NETPROTO_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/stream/stream.h"
+
+namespace plan9 {
+
+class NetConv {
+ public:
+  virtual ~NetConv() = default;
+
+  int index() const { return index_; }
+  const std::string& owner() const { return owner_; }
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+
+  // One ASCII control message written to the ctl file, e.g.
+  // "connect 135.104.9.31!564", "announce 17008", "hangup".
+  virtual Status Ctl(const std::string& msg) = 0;
+
+  // Blocks until the conversation is usable: after `connect` this is
+  // connection establishment ("When the data file is opened the connection
+  // is established"); after `announce` it returns at once.
+  virtual Status WaitReady() = 0;
+
+  // Data file I/O.  Reads come from the conversation's stream head and so
+  // honour the transport's delimiter behaviour (IL/UDP/URP preserve message
+  // boundaries; TCP does not).
+  virtual Result<size_t> Write(const uint8_t* data, size_t n) {
+    return stream_->Write(data, n);
+  }
+  Result<size_t> Read(uint8_t* buf, size_t n) { return stream_->Read(buf, n); }
+  Result<Bytes> ReadMessage() { return stream_->ReadMessage(); }
+
+  // Blocks until an incoming call arrives on this announced conversation;
+  // returns the index of the newly created conversation.
+  virtual Result<int> Listen() = 0;
+
+  // Contents of the local / remote / status files.
+  virtual std::string Local() = 0;
+  virtual std::string Remote() = 0;
+  virtual std::string StatusText() = 0;
+
+  // Called when the last user reference to the conversation's files goes
+  // away: initiate graceful shutdown and eventually recycle the slot.
+  virtual void CloseUser() = 0;
+
+  Stream* stream() { return stream_.get(); }
+
+  // Reference count of open files on this conversation (managed by the
+  // devproto driver; shown in the status file).
+  std::atomic<int> refs{0};
+
+ protected:
+  int index_ = 0;
+  std::string owner_ = "network";
+  std::unique_ptr<Stream> stream_;
+};
+
+class NetProto {
+ public:
+  virtual ~NetProto() = default;
+
+  // Directory name under /net ("tcp", "udp", "il", "dk").
+  virtual std::string name() = 0;
+
+  virtual size_t MaxConvs() { return 256; }
+
+  // The clone file: reserve an unused conversation.
+  virtual Result<NetConv*> Clone() = 0;
+
+  // Conversation by number; nullptr if the slot was never created.
+  virtual NetConv* Conv(size_t index) = 0;
+
+  // Number of conversation slots ever created (directory size).
+  virtual size_t ConvCount() = 0;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_NETPROTO_H_

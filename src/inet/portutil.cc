@@ -1,0 +1,40 @@
+#include "src/inet/portutil.h"
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+Result<HostPort> ParseConnectAddr(std::string_view s) {
+  auto parts = GetFields(s, "!");
+  if (parts.size() != 2) {
+    return Error(kErrBadAddr);
+  }
+  auto addr = IpFromString(parts[0]);
+  if (!addr.ok()) {
+    return Error(kErrBadAddr);
+  }
+  auto port = ParseU64(parts[1]);
+  if (!port || *port == 0 || *port > 65535) {
+    return Error(kErrBadAddr);
+  }
+  return HostPort{*addr, static_cast<uint16_t>(*port)};
+}
+
+Result<uint16_t> ParseAnnounceAddr(std::string_view s) {
+  auto parts = GetFields(s, "!");
+  std::string_view portpart;
+  if (parts.size() == 1) {
+    portpart = parts[0];
+  } else if (parts.size() == 2 && parts[0] == "*") {
+    portpart = parts[1];
+  } else {
+    return Error(kErrBadAddr);
+  }
+  auto port = ParseU64(portpart);
+  if (!port || *port == 0 || *port > 65535) {
+    return Error(kErrBadAddr);
+  }
+  return static_cast<uint16_t>(*port);
+}
+
+}  // namespace plan9

@@ -1,0 +1,44 @@
+// Shared helpers for the IP transports (TCP/UDP/IL): dial-string parsing and
+// ephemeral port allocation.
+#ifndef SRC_INET_PORTUTIL_H_
+#define SRC_INET_PORTUTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/inet/ipaddr.h"
+
+namespace plan9 {
+
+struct HostPort {
+  Ipv4Addr addr;  // unspecified for "*"
+  uint16_t port = 0;
+};
+
+// "135.104.9.31!564" -> {addr, 564}.  Used by `connect`.
+Result<HostPort> ParseConnectAddr(std::string_view s);
+
+// "564", "*!564", "17008" -> port (addr left unspecified).  Used by
+// `announce`; numeric service names only — symbolic names are resolved by CS
+// before they ever reach a protocol device.
+Result<uint16_t> ParseAnnounceAddr(std::string_view s);
+
+// Ephemeral port allocator (one per transport instance).
+class PortAlloc {
+ public:
+  uint16_t Next() {
+    uint16_t p = next_++;
+    if (next_ < 5000) {
+      next_ = 5000;
+    }
+    return p;
+  }
+
+ private:
+  uint16_t next_ = 5000;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_PORTUTIL_H_

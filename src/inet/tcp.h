@@ -1,0 +1,176 @@
+// TCP (§2.3, §3).
+//
+// The paper's baseline transport: a byte-stream protocol that "has a high
+// overhead and does not preserve delimiters".  This implementation is a
+// classic 1993-shape TCP: three-way handshake, cumulative acks, a sliding
+// window, adaptive RTO — and *blind* go-back-N retransmission on timeout,
+// which is exactly the behaviour §3 contrasts IL's query scheme against
+// ("blind retransmission would cause further congestion").
+//
+// Delimiters are deliberately not preserved: inbound bytes are delivered as
+// undelimited blocks, so 9P over TCP needs the framing module
+// (src/ninep/framing) — "we provide mechanisms to marshal messages before
+// handing them to the system".
+#ifndef SRC_INET_TCP_H_
+#define SRC_INET_TCP_H_
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/inet/ip.h"
+#include "src/inet/netproto.h"
+#include "src/inet/portutil.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+struct TcpConvStats {
+  uint64_t segs_sent = 0;
+  uint64_t segs_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t retransmit_segs = 0;
+  uint64_t retransmit_bytes = 0;
+  uint64_t dup_segs = 0;
+  std::chrono::microseconds srtt{0};
+};
+
+class TcpProto;
+
+class TcpConv : public NetConv {
+ public:
+  enum class State {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kClosing,
+    kLastAck,
+    kTimeWait,
+  };
+
+  static constexpr size_t kMss = 1400;
+  static constexpr size_t kSendWindow = 16 * 1024;   // fixed cwnd, 1993-style
+  static constexpr size_t kSendBufMax = 64 * 1024;   // user write backpressure
+
+  TcpConv(TcpProto* proto, int index);
+  ~TcpConv() override;
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override;
+  std::string Local() override;
+  std::string Remote() override;
+  std::string StatusText() override;
+  void CloseUser() override;
+
+  TcpConvStats stats();
+
+ private:
+  friend class TcpProto;
+  class Module;
+
+  Status StartConnect(const HostPort& dest);
+  Status QueueBytes(const uint8_t* data, size_t n);  // user data path
+  void Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack, uint16_t flags,
+             uint16_t wnd, Bytes payload);
+  void TrySendLocked();
+  void EmitLocked(uint16_t flags, uint32_t seq, size_t payload_off, size_t payload_len);
+  void RetransmitLocked();
+  void ProcessAckLocked(uint32_t ack, uint16_t wnd);
+  void ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
+                         std::vector<BlockPtr>* deliveries, bool* peer_closed);
+  void EnterTimeWaitLocked();
+  void ResetLocked(const std::string& why);
+  void ArmTimerLocked(std::chrono::microseconds delay);
+  void TimerFire();
+  std::chrono::microseconds RtoLocked() const;
+  void RttSampleLocked(std::chrono::microseconds sample);
+  void MaybeSendFinLocked();
+  void Recycle();
+  const char* StateNameLocked() const;
+
+  TcpProto* proto_;
+  QLock lock_;
+  Rendez ready_;
+  Rendez sendbuf_space_;
+  Rendez incoming_;
+
+  State state_ = State::kClosed;
+  bool slot_free_ = true;
+  bool dying_ = false;  // proto teardown: never re-arm the timer
+
+  Ipv4Addr laddr_, raddr_;
+  uint16_t lport_ = 0, rport_ = 0;
+
+  // Send sequence space.  send_buf_ holds bytes [snd_una, snd_una+size).
+  uint32_t iss_ = 0;
+  uint32_t snd_una_ = 0;
+  uint32_t snd_nxt_ = 0;
+  uint32_t snd_wnd_ = kSendWindow;
+  std::deque<uint8_t> send_buf_;
+  bool fin_pending_ = false;  // user closed; FIN goes out after the buffer
+  bool fin_sent_ = false;
+  TimerWheel::Clock::time_point rtt_seg_sent_;
+  uint32_t rtt_seg_seq_ = 0;  // sequence being timed (0 = none)
+  bool rtt_timing_ = false;
+
+  // Receive sequence space.
+  uint32_t irs_ = 0;
+  uint32_t rcv_nxt_ = 0;
+  std::map<uint32_t, Bytes> out_of_order_;
+  bool fin_received_ = false;
+
+  std::chrono::microseconds srtt_{0};
+  std::chrono::microseconds mdev_{0};
+  int backoff_ = 0;
+  TimerId timer_ = kNoTimer;
+  int handshake_tries_ = 0;
+
+  std::deque<int> pending_;
+  TcpConv* listener_backref_ = nullptr;  // conv that spawned us (for accept)
+  std::string err_;
+  TcpConvStats stats_;
+};
+
+class TcpProto : public NetProto {
+ public:
+  explicit TcpProto(IpStack* ip);
+  ~TcpProto() override;
+
+  std::string name() override { return "tcp"; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+  IpStack* ip() { return ip_; }
+
+ private:
+  friend class TcpConv;
+
+  void Input(const IpPacket& pkt);
+  Result<TcpConv*> AllocConv();
+  TcpConv* SpawnFromSyn(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
+                        uint32_t peer_seq, TcpConv* listener);
+  void SendRst(Ipv4Addr src, Ipv4Addr dst, uint16_t sport, uint16_t dport, uint32_t ack);
+
+  IpStack* ip_;
+  QLock lock_;
+  std::vector<std::unique_ptr<TcpConv>> convs_;
+  PortAlloc ports_;
+  Rng isn_rng_{0xfeedface};
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_TCP_H_

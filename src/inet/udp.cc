@@ -1,0 +1,347 @@
+#include "src/inet/udp.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+namespace {
+
+constexpr size_t kUdpHeaderSize = 8;
+
+void Put16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+uint16_t Get16(const uint8_t* p) { return static_cast<uint16_t>(p[0] << 8 | p[1]); }
+
+}  // namespace
+
+// The stream device module: user writes become datagrams.  Data blocks are
+// coalesced until the delimiter so one write == one datagram regardless of
+// internal splitting.
+class UdpConv::Module : public StreamModule {
+ public:
+  explicit Module(UdpConv* conv) : conv_(conv) {}
+  std::string_view name() const override { return "udp"; }
+
+  void DownPut(BlockPtr b) override {
+    if (b->type != BlockType::kData) {
+      return;  // module-specific control: none for udp
+    }
+    pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
+    if (!b->delim) {
+      return;
+    }
+    Bytes datagram;
+    datagram.swap(pending_);
+    Status s = conv_->Output(datagram);
+    if (!s.ok()) {
+      P9_LOG(kDebug) << "udp output: " << s.error().message();
+    }
+  }
+
+ private:
+  UdpConv* conv_;
+  Bytes pending_;
+};
+
+UdpConv::UdpConv(UdpProto* proto, int index) : proto_(proto) {
+  index_ = index;
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+}
+
+void UdpConv::Recycle() {
+  QLockGuard guard(lock_);
+  stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
+  laddr_ = raddr_ = Ipv4Addr{};
+  lport_ = rport_ = 0;
+  pending_.clear();
+}
+
+Status UdpConv::Ctl(const std::string& msg) {
+  auto words = Tokenize(msg);
+  if (words.empty()) {
+    return Error(kErrBadCtl);
+  }
+  if (words[0] == "connect" && words.size() >= 2) {
+    P9_ASSIGN_OR_RETURN(HostPort hp, ParseConnectAddr(words[1]));
+    P9_ASSIGN_OR_RETURN(Ipv4Addr laddr, proto_->ip()->SourceFor(hp.addr));
+    uint16_t ephemeral;
+    {
+      // proto lock before conv lock, always.
+      QLockGuard pguard(proto_->lock_);
+      ephemeral = proto_->ports_.Next();
+    }
+    QLockGuard guard(lock_);
+    if (state_ != State::kIdle) {
+      return Error("connection already in use");
+    }
+    laddr_ = laddr;
+    raddr_ = hp.addr;
+    rport_ = hp.port;
+    if (lport_ == 0) {
+      lport_ = ephemeral;
+    }
+    state_ = State::kConnected;
+    return Status::Ok();
+  }
+  if (words[0] == "announce" && words.size() >= 2) {
+    P9_ASSIGN_OR_RETURN(uint16_t port, ParseAnnounceAddr(words[1]));
+    QLockGuard guard(lock_);
+    if (state_ != State::kIdle) {
+      return Error("connection already in use");
+    }
+    lport_ = port;
+    laddr_ = Ipv4Addr{};  // any local address
+    state_ = State::kAnnounced;
+    return Status::Ok();
+  }
+  if (words[0] == "bind" && words.size() >= 2) {
+    // "bind <port>": fix the local port before connect.
+    auto port = ParseU64(words[1]);
+    if (!port || *port > 65535) {
+      return Error(kErrBadArg);
+    }
+    QLockGuard guard(lock_);
+    lport_ = static_cast<uint16_t>(*port);
+    return Status::Ok();
+  }
+  if (words[0] == "hangup" || words[0] == "reject") {
+    CloseUser();
+    return Status::Ok();
+  }
+  if (words[0] == "accept") {
+    return Status::Ok();
+  }
+  return Error(kErrBadCtl);
+}
+
+Status UdpConv::WaitReady() {
+  QLockGuard guard(lock_);
+  if (state_ == State::kClosed || state_ == State::kIdle) {
+    return Error(kErrHungup);
+  }
+  return Status::Ok();  // UDP has no handshake
+}
+
+Result<int> UdpConv::Listen() {
+  QLockGuard guard(lock_);
+  if (state_ != State::kAnnounced) {
+    return Error("not announced");
+  }
+  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  if (state_ == State::kClosed) {
+    return Error(kErrHungup);
+  }
+  int conv = pending_.front();
+  pending_.pop_front();
+  return conv;
+}
+
+std::string UdpConv::Local() {
+  QLockGuard guard(lock_);
+  Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
+  return StrFormat("%s %u\n", IpToString(shown).c_str(), lport_);
+}
+
+std::string UdpConv::Remote() {
+  QLockGuard guard(lock_);
+  return StrFormat("%s %u\n", IpToString(raddr_).c_str(), rport_);
+}
+
+std::string UdpConv::StatusText() {
+  QLockGuard guard(lock_);
+  const char* s = "Idle";
+  switch (state_) {
+    case State::kIdle:
+      s = "Idle";
+      break;
+    case State::kConnected:
+      s = "Connected";
+      break;
+    case State::kAnnounced:
+      s = "Announced";
+      break;
+    case State::kClosed:
+      s = "Closed";
+      break;
+  }
+  return StrFormat("udp/%d %d %s\n", index_, refs.load(), s);
+}
+
+void UdpConv::CloseUser() {
+  std::deque<int> orphans;
+  {
+    QLockGuard guard(lock_);
+    state_ = State::kClosed;
+    orphans.swap(pending_);
+  }
+  incoming_.Wakeup();
+  stream_->Hangup();
+  // Close calls nobody will ever Listen() for.
+  for (int idx : orphans) {
+    if (NetConv* c = proto_->Conv(static_cast<size_t>(idx)); c != nullptr) {
+      c->CloseUser();
+    }
+  }
+  // Recycle the slot for a future clone.
+  {
+    QLockGuard guard(lock_);
+    state_ = State::kIdle;
+    laddr_ = raddr_ = Ipv4Addr{};
+    lport_ = rport_ = 0;
+  }
+}
+
+Status UdpConv::Output(const Bytes& payload) {
+  Ipv4Addr src, dst;
+  uint16_t sport, dport;
+  {
+    QLockGuard guard(lock_);
+    if (state_ != State::kConnected) {
+      return Error("not connected");
+    }
+    src = laddr_;
+    dst = raddr_;
+    sport = lport_;
+    dport = rport_;
+  }
+  Bytes pkt(kUdpHeaderSize + payload.size());
+  Put16(pkt.data(), sport);
+  Put16(pkt.data() + 2, dport);
+  Put16(pkt.data() + 4, static_cast<uint16_t>(pkt.size()));
+  Put16(pkt.data() + 6, 0);  // checksum optional in v4; media are checksummed
+  std::memcpy(pkt.data() + kUdpHeaderSize, payload.data(), payload.size());
+  return proto_->ip()->Send(kIpProtoUdp, src, dst, pkt);
+}
+
+void UdpConv::Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, size_t len) {
+  {
+    QLockGuard guard(lock_);
+    if (state_ == State::kConnected) {
+      // Connected conversations only hear their peer.
+      if (!(pkt.src == raddr_) || sport != rport_) {
+        return;
+      }
+    }
+  }
+  stream_->DeliverUp(MakeDataBlock(Bytes(data, data + len), /*delim=*/true));
+}
+
+UdpProto::UdpProto(IpStack* ip) : ip_(ip) {
+  ip_->RegisterProtocol(kIpProtoUdp, [this](const IpPacket& pkt) { Input(pkt); });
+}
+
+UdpProto::~UdpProto() {
+  ip_->UnregisterProtocol(kIpProtoUdp);
+  TimerWheel::Default().Drain();
+}
+
+Result<NetConv*> UdpProto::Clone() {
+  auto conv = AllocConv();
+  if (!conv.ok()) {
+    return conv.error();
+  }
+  return static_cast<NetConv*>(*conv);
+}
+
+Result<UdpConv*> UdpProto::AllocConv() {
+  QLockGuard guard(lock_);
+  for (auto& c : convs_) {
+    bool reusable;
+    {
+      QLockGuard cguard(c->lock_);
+      reusable = c->state_ == UdpConv::State::kIdle && c->refs.load() == 0;
+    }
+    if (reusable) {
+      c->Recycle();
+      return c.get();
+    }
+  }
+  if (convs_.size() >= MaxConvs()) {
+    return Error(kErrNoConv);
+  }
+  convs_.push_back(std::make_unique<UdpConv>(this, static_cast<int>(convs_.size())));
+  return convs_.back().get();
+}
+
+NetConv* UdpProto::Conv(size_t index) {
+  QLockGuard guard(lock_);
+  return index < convs_.size() ? convs_[index].get() : nullptr;
+}
+
+size_t UdpProto::ConvCount() {
+  QLockGuard guard(lock_);
+  return convs_.size();
+}
+
+void UdpProto::Input(const IpPacket& pkt) {
+  if (pkt.payload.size() < kUdpHeaderSize) {
+    return;
+  }
+  const uint8_t* h = pkt.payload.data();
+  uint16_t sport = Get16(h);
+  uint16_t dport = Get16(h + 2);
+  uint16_t len = Get16(h + 4);
+  if (len < kUdpHeaderSize || len > pkt.payload.size()) {
+    return;
+  }
+  UdpConv* conv = FindOrSpawn(pkt, sport, dport);
+  if (conv == nullptr) {
+    return;
+  }
+  conv->Input(pkt, sport, h + kUdpHeaderSize, len - kUdpHeaderSize);
+}
+
+UdpConv* UdpProto::FindOrSpawn(const IpPacket& pkt, uint16_t sport, uint16_t dport) {
+  UdpConv* announced = nullptr;
+  {
+    QLockGuard guard(lock_);
+    // Exact 4-tuple match first.
+    for (auto& c : convs_) {
+      QLockGuard cguard(c->lock_);
+      if (c->state_ == UdpConv::State::kConnected && c->lport_ == dport &&
+          c->rport_ == sport && c->raddr_ == pkt.src) {
+        return c.get();
+      }
+    }
+    for (auto& c : convs_) {
+      QLockGuard cguard(c->lock_);
+      if (c->state_ == UdpConv::State::kAnnounced && c->lport_ == dport) {
+        announced = c.get();
+        break;
+      }
+    }
+  }
+  if (announced == nullptr) {
+    return nullptr;
+  }
+  // Unseen source on an announced port: spawn a connected conversation and
+  // hand it to Listen().
+  auto spawned = AllocConv();
+  if (!spawned.ok()) {
+    return nullptr;
+  }
+  UdpConv* nc = *spawned;
+  {
+    QLockGuard guard(nc->lock_);
+    nc->state_ = UdpConv::State::kConnected;
+    nc->laddr_ = pkt.dst;
+    nc->lport_ = dport;
+    nc->raddr_ = pkt.src;
+    nc->rport_ = sport;
+    // state kConnected keeps the slot from being re-cloned while it waits in
+    // the pending-call queue.
+  }
+  {
+    QLockGuard guard(announced->lock_);
+    announced->pending_.push_back(nc->index());
+  }
+  announced->incoming_.Wakeup();
+  return nc;
+}
+
+}  // namespace plan9

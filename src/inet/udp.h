@@ -1,0 +1,89 @@
+// UDP protocol device (§2.3).
+//
+// "UDP, while cheap, does not provide reliable sequenced delivery" — it is
+// implemented here both as a usable transport (DNS queries ride on it) and
+// as the baseline the loss benchmarks measure IL against.  Datagram
+// boundaries are preserved: each datagram arrives as one delimited block.
+//
+// Announce/listen follow the uniform conversation model: a datagram from a
+// previously unseen source on an announced port materializes a new
+// conversation, which Listen() returns — giving UDP the same file-level
+// interface as the connection-oriented protocols.
+#ifndef SRC_INET_UDP_H_
+#define SRC_INET_UDP_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/inet/ip.h"
+#include "src/inet/netproto.h"
+#include "src/inet/portutil.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class UdpProto;
+
+class UdpConv : public NetConv {
+ public:
+  enum class State { kIdle, kConnected, kAnnounced, kClosed };
+
+  UdpConv(UdpProto* proto, int index);
+
+  Status Ctl(const std::string& msg) override;
+  Status WaitReady() override;
+  Result<int> Listen() override;
+  std::string Local() override;
+  std::string Remote() override;
+  std::string StatusText() override;
+  void CloseUser() override;
+
+ private:
+  friend class UdpProto;
+  class Module;
+
+  // Transmit one datagram to the connected remote.
+  Status Output(const Bytes& payload);
+  void Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, size_t len);
+  // Fresh stream + state for slot reuse after CloseUser.
+  void Recycle();
+
+  UdpProto* proto_;
+  QLock lock_;
+  Rendez incoming_;
+  State state_ = State::kIdle;
+  Ipv4Addr laddr_, raddr_;
+  uint16_t lport_ = 0, rport_ = 0;
+  std::deque<int> pending_;  // conversations spawned by unseen sources
+};
+
+class UdpProto : public NetProto {
+ public:
+  explicit UdpProto(IpStack* ip);
+  ~UdpProto() override;
+
+  std::string name() override { return "udp"; }
+  Result<NetConv*> Clone() override;
+  NetConv* Conv(size_t index) override;
+  size_t ConvCount() override;
+
+  IpStack* ip() { return ip_; }
+
+ private:
+  friend class UdpConv;
+
+  void Input(const IpPacket& pkt);
+  UdpConv* FindOrSpawn(const IpPacket& pkt, uint16_t sport, uint16_t dport);
+  Result<UdpConv*> AllocConv();
+
+  IpStack* ip_;
+  QLock lock_;
+  std::vector<std::unique_ptr<UdpConv>> convs_;
+  PortAlloc ports_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_INET_UDP_H_

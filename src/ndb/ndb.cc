@@ -1,0 +1,284 @@
+#include "src/ndb/ndb.h"
+
+#include <algorithm>
+
+#include "src/base/rand.h"
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+std::optional<std::string> NdbEntry::Find(std::string_view attr) const {
+  for (const auto& t : tuples) {
+    if (t.attr == attr) {
+      return t.val;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> NdbEntry::FindAll(std::string_view attr) const {
+  std::vector<std::string> out;
+  for (const auto& t : tuples) {
+    if (t.attr == attr) {
+      out.push_back(t.val);
+    }
+  }
+  return out;
+}
+
+bool NdbEntry::Has(std::string_view attr, std::string_view val) const {
+  for (const auto& t : tuples) {
+    if (t.attr == attr && t.val == val) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Parse one line's attr=value pairs into the entry.  Tolerates typographic
+// spacing around '=' ("sys = helix", as printed in the paper).
+void ParseLine(std::string_view line, NdbEntry* entry) {
+  auto words = Tokenize(line);
+  for (size_t i = 0; i < words.size(); i++) {
+    const std::string& word = words[i];
+    if (word.empty() || word[0] == '#') {
+      break;
+    }
+    if (word == "=" && !entry->tuples.empty() && i + 1 < words.size()) {
+      // "attr = value": attach the value to the preceding bare attribute.
+      entry->tuples.back().val = words[++i];
+      continue;
+    }
+    std::string attr = word;
+    std::string val;
+    auto eq = word.find('=');
+    if (eq != std::string::npos) {
+      attr = word.substr(0, eq);
+      val = word.substr(eq + 1);
+      if (val.empty() && i + 1 < words.size()) {
+        val = words[++i];  // "attr= value"
+      }
+    } else if (i + 1 < words.size() && words[i + 1][0] == '=' &&
+               words[i + 1].size() > 1) {
+      val = words[++i].substr(1);  // "attr =value"
+    }
+    entry->tuples.push_back(NdbTuple{std::move(attr), std::move(val)});
+  }
+}
+
+}  // namespace
+
+Status Ndb::Load(const std::string& text) {
+  NdbEntry current;
+  bool in_entry = false;
+  for (const auto& line : GetFields(text, "\n", /*collapse=*/false)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    bool indented = line[0] == ' ' || line[0] == '\t';
+    if (!indented) {
+      // "a header line at the left margin begins each entry"
+      if (in_entry && !current.tuples.empty()) {
+        entries_.push_back(std::move(current));
+        current = NdbEntry{};
+      }
+      in_entry = true;
+    } else if (!in_entry) {
+      return Error("ndb: continuation line before any entry");
+    }
+    ParseLine(line, &current);
+  }
+  if (in_entry && !current.tuples.empty()) {
+    entries_.push_back(std::move(current));
+  }
+  InvalidateIndexes();  // master changed; hash files are now out-of-date
+  return Status::Ok();
+}
+
+std::vector<const NdbEntry*> Ndb::Search(std::string_view attr,
+                                         std::string_view val) const {
+  std::vector<const NdbEntry*> out;
+  auto idx = indexes_.find(attr);
+  if (idx != indexes_.end() && idx->second.fresh) {
+    indexed_lookups++;
+    auto [lo, hi] = idx->second.map.equal_range(std::string(val));
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(&entries_[it->second]);
+    }
+    return out;
+  }
+  // "Searches for attributes that aren't hashed or whose hash table is
+  // out-of-date still work, they just take longer."
+  linear_lookups++;
+  for (const auto& e : entries_) {
+    if (e.Has(attr, val)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Ndb::LookValue(std::string_view attr, std::string_view val,
+                                          std::string_view rattr) const {
+  for (const auto* e : Search(attr, val)) {
+    auto v = e->Find(rattr);
+    if (v.has_value()) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Ndb::IpInfo(Ipv4Addr ip, std::string_view rattr) const {
+  std::vector<std::string> out;
+  auto add_all = [&](const NdbEntry& e) {
+    for (auto& v : e.FindAll(rattr)) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  };
+
+  // 1. The source system's own entry.
+  for (const auto* e : Search("ip", IpToString(ip))) {
+    add_all(*e);
+  }
+  if (!out.empty()) {
+    return out;
+  }
+
+  // 2. "then its subnetwork (if there is one) and then its network."
+  //
+  // The classful network entry (ip == host & classmask) declares, via its
+  // ipmask attribute, how the network is subnetted (§4.1: the class B entry
+  // carries ipmask=255.255.255.0).  The subnet entry is the ipnet whose ip
+  // equals host & that mask.
+  auto find_ipnets = [&](Ipv4Addr addr) {
+    std::vector<const NdbEntry*> hits;
+    for (const auto& e : entries_) {
+      if (e.Find("ipnet").has_value() && e.Has("ip", IpToString(addr))) {
+        hits.push_back(&e);
+      }
+    }
+    return hits;
+  };
+
+  Ipv4Addr class_net{ip.v & ClassMask(ip).v};
+  auto networks = find_ipnets(class_net);
+
+  // Subnet mask: declared on the network entry, default /24 inside a
+  // class A/B net (the paper's networks are built that way).
+  Ipv4Addr subnet_mask{0};
+  for (const auto* net : networks) {
+    auto mask_s = net->Find("ipmask");
+    if (mask_s.has_value()) {
+      auto m = IpFromString(*mask_s);
+      if (m.ok()) {
+        subnet_mask = *m;
+      }
+    }
+  }
+  if (subnet_mask.IsUnspecified() && ClassMask(ip).v != 0xffffff00u) {
+    subnet_mask = Ipv4Addr{0xffffff00u};
+  }
+
+  if (!subnet_mask.IsUnspecified()) {
+    Ipv4Addr subnet{ip.v & subnet_mask.v};
+    if (!(subnet == class_net)) {
+      for (const auto* e : find_ipnets(subnet)) {
+        add_all(*e);
+      }
+      if (!out.empty()) {
+        return out;  // most closely associated level wins
+      }
+    }
+  }
+  for (const auto* e : networks) {
+    add_all(*e);
+  }
+  return out;
+}
+
+std::optional<uint16_t> Ndb::ServicePort(std::string_view proto,
+                                         std::string_view service) const {
+  // Numeric services pass straight through.
+  if (auto n = ParseU64(service); n.has_value() && *n > 0 && *n <= 65535) {
+    return static_cast<uint16_t>(*n);
+  }
+  auto port = LookValue(proto, service, "port");
+  if (!port.has_value()) {
+    return std::nullopt;
+  }
+  auto n = ParseU64(*port);
+  if (!n.has_value() || *n == 0 || *n > 65535) {
+    return std::nullopt;
+  }
+  return static_cast<uint16_t>(*n);
+}
+
+void Ndb::BuildIndex(const std::string& attr) {
+  Index idx;
+  for (size_t i = 0; i < entries_.size(); i++) {
+    for (const auto& t : entries_[i].tuples) {
+      if (t.attr == attr) {
+        idx.map.emplace(t.val, i);
+      }
+    }
+  }
+  idx.fresh = true;
+  indexes_[attr] = std::move(idx);
+}
+
+bool Ndb::HasFreshIndex(std::string_view attr) const {
+  auto it = indexes_.find(attr);
+  return it != indexes_.end() && it->second.fresh;
+}
+
+void Ndb::InvalidateIndexes() {
+  for (auto& [attr, idx] : indexes_) {
+    idx.fresh = false;
+  }
+}
+
+void Ndb::RebuildIndexes() {
+  std::vector<std::string> attrs;
+  for (auto& [attr, idx] : indexes_) {
+    attrs.push_back(attr);
+  }
+  for (auto& attr : attrs) {
+    BuildIndex(attr);
+  }
+}
+
+std::string SynthesizeGlobalNdb(size_t lines, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(lines * 48);
+  size_t line_count = 0;
+  size_t sys = 0;
+  while (line_count < lines) {
+    uint32_t a = static_cast<uint32_t>(10 + rng.Below(120));
+    uint32_t b = static_cast<uint32_t>(rng.Below(256));
+    uint32_t c = static_cast<uint32_t>(rng.Below(256));
+    uint32_t d = static_cast<uint32_t>(1 + rng.Below(250));
+    out += StrFormat("sys=synth%zu\n", sys);
+    out += StrFormat("\tdom=synth%zu.research.example.com\n", sys);
+    out += StrFormat("\tip=%u.%u.%u.%u ether=%012llx\n", a, b, c, d,
+                     static_cast<unsigned long long>(rng.Next() & 0xffffffffffffULL));
+    if (rng.Chance(0.3)) {
+      out += StrFormat("\tdk=nj/astro/synth%zu\n", sys);
+      line_count++;
+    }
+    if (rng.Chance(0.2)) {
+      out += StrFormat("\tbootf=/mips/9power proto=il\n");
+      line_count++;
+    }
+    line_count += 3;
+    sys++;
+  }
+  return out;
+}
+
+}  // namespace plan9

@@ -1,0 +1,104 @@
+// ndb — the network database (§4.1).
+//
+// "One database on a shared server contains all the information needed for
+// network administration.  Two ASCII files comprise the main database:
+// /lib/ndb/local ... and /lib/ndb/global ...  The files contain sets of
+// attribute/value pairs of the form attr=value...  Systems are described by
+// multi-line entries; a header line at the left margin begins each entry
+// followed by zero or more indented attribute/value pairs."
+//
+// "To speed searches, we build hash table files for each attribute we expect
+// to search often...  Every hash file contains the modification time of its
+// master file so we can avoid using an out-of-date hash table.  Searches for
+// attributes that aren't hashed or whose hash table is out-of-date still
+// work, they just take longer."  BuildIndex/InvalidateIndexes model exactly
+// that (bench_ndb measures the difference).
+#ifndef SRC_NDB_NDB_H_
+#define SRC_NDB_NDB_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/inet/ipaddr.h"
+
+namespace plan9 {
+
+struct NdbTuple {
+  std::string attr;
+  std::string val;
+};
+
+struct NdbEntry {
+  std::vector<NdbTuple> tuples;
+
+  // First value for attr, if any.
+  std::optional<std::string> Find(std::string_view attr) const;
+  // All values for attr.
+  std::vector<std::string> FindAll(std::string_view attr) const;
+  bool Has(std::string_view attr, std::string_view val) const;
+};
+
+class Ndb {
+ public:
+  // Parse database text (comments '#', indented continuation lines).
+  // Multiple calls append (local + global files, §4.1).
+  Status Load(const std::string& text);
+
+  size_t entry_count() const { return entries_.size(); }
+  const std::vector<NdbEntry>& entries() const { return entries_; }
+
+  // All entries containing attr=val.  Uses the hash index when fresh,
+  // otherwise scans ("they just take longer").
+  std::vector<const NdbEntry*> Search(std::string_view attr, std::string_view val) const;
+
+  // First value of rattr in the first entry with attr=val.
+  std::optional<std::string> LookValue(std::string_view attr, std::string_view val,
+                                       std::string_view rattr) const;
+
+  // §4.2 "$attr" meta-name resolution: "the database search returns the
+  // value of the matching attribute/value pair most closely associated with
+  // the source host": the host's own entry, then its subnetwork(s), then
+  // its network.  `ip` is the source host's address.
+  std::vector<std::string> IpInfo(Ipv4Addr ip, std::string_view rattr) const;
+
+  // Service name -> port for a protocol ("tcp", "il", "udp"): the paper's
+  //   tcp=echo port=7
+  // entries.
+  std::optional<uint16_t> ServicePort(std::string_view proto,
+                                      std::string_view service) const;
+
+  // --- hash indexes --------------------------------------------------------
+
+  // Build the hash table for one attribute.
+  void BuildIndex(const std::string& attr);
+  bool HasFreshIndex(std::string_view attr) const;
+  // Mark every index out-of-date (as if the master file changed under
+  // them); searches fall back to linear scans until Rebuild.
+  void InvalidateIndexes();
+  void RebuildIndexes();
+
+  // Lookup counters (benchmarks / tests).
+  mutable uint64_t indexed_lookups = 0;
+  mutable uint64_t linear_lookups = 0;
+
+ private:
+  struct Index {
+    std::unordered_multimap<std::string, size_t> map;  // val -> entry index
+    bool fresh = false;
+  };
+
+  std::vector<NdbEntry> entries_;
+  std::map<std::string, Index, std::less<>> indexes_;
+};
+
+// Generate a synthetic "global" database of roughly `lines` lines (the
+// paper's AT&T-wide file had 43,000) for index benchmarks.  Deterministic.
+std::string SynthesizeGlobalNdb(size_t lines, uint64_t seed = 1);
+
+}  // namespace plan9
+
+#endif  // SRC_NDB_NDB_H_

@@ -1,0 +1,212 @@
+#include "src/ninep/client.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+NinepClient::NinepClient(std::unique_ptr<MsgTransport> transport)
+    : transport_(std::move(transport)),
+      reader_("9p.client.reader", [this] { ReaderLoop(); }) {}
+
+NinepClient::~NinepClient() {
+  transport_->Close();
+  reader_.Join();
+}
+
+void NinepClient::ReaderLoop() {
+  for (;;) {
+    auto raw = transport_->ReadMsg();
+    if (!raw.ok() || raw->empty()) {
+      QLockGuard guard(lock_);
+      FailAllLocked(raw.ok() ? std::string(kErrHungup) : raw.error().message());
+      return;
+    }
+    auto reply = Fcall::Unpack(*raw);
+    if (!reply.ok()) {
+      P9_LOG(kWarn) << "9p client: " << reply.error().message();
+      continue;
+    }
+    std::shared_ptr<Pending> waiter;
+    {
+      QLockGuard guard(lock_);
+      auto it = pending_.find(reply->tag);
+      if (it != pending_.end()) {
+        waiter = it->second;
+        pending_.erase(it);
+        waiter->have_reply = true;
+        waiter->reply = reply.take();
+      }
+    }
+    if (waiter != nullptr) {
+      waiter->done.Wakeup();
+    } else {
+      P9_LOG(kDebug) << "9p client: reply for unknown tag";
+    }
+  }
+}
+
+void NinepClient::FailAllLocked(const std::string& why) {
+  dead_ = true;
+  death_reason_ = why;
+  for (auto& [tag, waiter] : pending_) {
+    waiter->have_reply = true;
+    waiter->reply = RerrorMsg(tag, why);
+    waiter->done.Wakeup();
+  }
+  pending_.clear();
+}
+
+Result<Fcall> NinepClient::Rpc(Fcall tx) {
+  auto waiter = std::make_shared<Pending>();
+  {
+    QLockGuard guard(lock_);
+    if (dead_) {
+      return Error(death_reason_);
+    }
+    do {
+      tx.tag = next_tag_++;
+      if (next_tag_ == kNoTag) {
+        next_tag_ = 1;
+      }
+    } while (pending_.count(tx.tag) != 0);
+    pending_[tx.tag] = waiter;
+  }
+  auto packed = tx.Pack();
+  if (!packed.ok()) {
+    QLockGuard guard(lock_);
+    pending_.erase(tx.tag);
+    return packed.error();
+  }
+  Status sent = transport_->WriteMsg(*packed);
+  if (!sent.ok()) {
+    QLockGuard guard(lock_);
+    pending_.erase(tx.tag);
+    return sent.error();
+  }
+  {
+    QLockGuard guard(lock_);
+    waiter->done.Sleep(guard, [&] { return waiter->have_reply; });
+  }
+  if (waiter->reply.type == FcallType::kRerror) {
+    return Error(waiter->reply.ename);
+  }
+  // Sanity: reply type must be request type + 1.
+  if (static_cast<uint8_t>(waiter->reply.type) != static_cast<uint8_t>(tx.type) + 1) {
+    return Error(StrFormat("mismatched 9p reply: %s for %s",
+                           FcallTypeName(waiter->reply.type), FcallTypeName(tx.type)));
+  }
+  return waiter->reply;
+}
+
+uint32_t NinepClient::AllocFid() {
+  QLockGuard guard(lock_);
+  return next_fid_++;
+}
+
+Status NinepClient::Session() {
+  auto r = Rpc(TsessionMsg());
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Status::Ok();
+}
+
+Result<Qid> NinepClient::Attach(uint32_t fid, const std::string& uname,
+                                const std::string& aname) {
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TattachMsg(fid, uname, aname)));
+  return r.qid;
+}
+
+Result<Qid> NinepClient::Walk(uint32_t fid, const std::string& name) {
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TwalkMsg(fid, name)));
+  return r.qid;
+}
+
+Result<Qid> NinepClient::CloneWalk(uint32_t fid, uint32_t newfid,
+                                   const std::vector<std::string>& names) {
+  Qid qid{};
+  if (names.empty()) {
+    P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TcloneMsg(fid, newfid)));
+    (void)r;
+    return qid;
+  }
+  // First element rides the clwalk; the rest are plain walks on newfid.
+  auto first = Rpc(TclwalkMsg(fid, newfid, names[0]));
+  if (!first.ok()) {
+    return first.error();
+  }
+  qid = first->qid;
+  for (size_t i = 1; i < names.size(); i++) {
+    auto r = Rpc(TwalkMsg(newfid, names[i]));
+    if (!r.ok()) {
+      (void)Clunk(newfid);
+      return r.error();
+    }
+    qid = r->qid;
+  }
+  return qid;
+}
+
+Result<Qid> NinepClient::Open(uint32_t fid, uint8_t mode) {
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TopenMsg(fid, mode)));
+  return r.qid;
+}
+
+Result<Qid> NinepClient::Create(uint32_t fid, const std::string& name, uint32_t perm,
+                                uint8_t mode) {
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TcreateMsg(fid, name, perm, mode)));
+  return r.qid;
+}
+
+Result<Bytes> NinepClient::Read(uint32_t fid, uint64_t offset, uint32_t count) {
+  if (count > kMaxData) {
+    count = kMaxData;
+  }
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TreadMsg(fid, offset, count)));
+  return r.data;
+}
+
+Result<uint32_t> NinepClient::Write(uint32_t fid, uint64_t offset, const Bytes& data) {
+  if (data.size() > kMaxData) {
+    return Error("9p write too long");
+  }
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TwriteMsg(fid, offset, data)));
+  return r.count;
+}
+
+Status NinepClient::Clunk(uint32_t fid) {
+  auto r = Rpc(TclunkMsg(fid));
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Status::Ok();
+}
+
+Status NinepClient::Remove(uint32_t fid) {
+  auto r = Rpc(TremoveMsg(fid));
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Status::Ok();
+}
+
+Result<Dir> NinepClient::Stat(uint32_t fid) {
+  P9_ASSIGN_OR_RETURN(Fcall r, Rpc(TstatMsg(fid)));
+  return r.stat;
+}
+
+Status NinepClient::Wstat(uint32_t fid, const Dir& d) {
+  auto r = Rpc(TwstatMsg(fid, d));
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Status::Ok();
+}
+
+bool NinepClient::ok() {
+  QLockGuard guard(lock_);
+  return !dead_;
+}
+
+}  // namespace plan9

@@ -1,0 +1,80 @@
+// 9P client RPC engine — the heart of the mount driver (§2.1).
+//
+// "The mount driver manages buffers, packs and unpacks parameters from
+// messages, and demultiplexes among processes using the file server."
+// Multiple processes issue RPCs concurrently; a reader kproc matches replies
+// to callers by tag.
+#ifndef SRC_NINEP_CLIENT_H_
+#define SRC_NINEP_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/ninep/fcall.h"
+#include "src/ninep/transport.h"
+#include "src/task/kproc.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class NinepClient {
+ public:
+  explicit NinepClient(std::unique_ptr<MsgTransport> transport);
+  ~NinepClient();
+
+  NinepClient(const NinepClient&) = delete;
+  NinepClient& operator=(const NinepClient&) = delete;
+
+  // Issue one RPC: allocates the tag, sends, blocks for the matching reply.
+  // Rerror replies surface as failed Results carrying ename.
+  Result<Fcall> Rpc(Fcall tx);
+
+  // Fid allocation for callers (the server sees whatever we choose).
+  uint32_t AllocFid();
+
+  // Convenience wrappers over Rpc.
+  Status Session();
+  Result<Qid> Attach(uint32_t fid, const std::string& uname, const std::string& aname);
+  Result<Qid> Walk(uint32_t fid, const std::string& name);
+  // Clone fid to newfid then walk each element; clunks newfid on failure.
+  Result<Qid> CloneWalk(uint32_t fid, uint32_t newfid,
+                        const std::vector<std::string>& names);
+  Result<Qid> Open(uint32_t fid, uint8_t mode);
+  Result<Qid> Create(uint32_t fid, const std::string& name, uint32_t perm, uint8_t mode);
+  Result<Bytes> Read(uint32_t fid, uint64_t offset, uint32_t count);
+  Result<uint32_t> Write(uint32_t fid, uint64_t offset, const Bytes& data);
+  Status Clunk(uint32_t fid);
+  Status Remove(uint32_t fid);
+  Result<Dir> Stat(uint32_t fid);
+  Status Wstat(uint32_t fid, const Dir& d);
+
+  // Whether the connection is still alive.
+  bool ok();
+
+ private:
+  struct Pending {
+    Rendez done;
+    bool have_reply = false;
+    Fcall reply;
+  };
+
+  void ReaderLoop();
+  void FailAllLocked(const std::string& why);
+
+  std::unique_ptr<MsgTransport> transport_;
+  QLock lock_;
+  std::map<uint16_t, std::shared_ptr<Pending>> pending_;
+  uint16_t next_tag_ = 1;
+  uint32_t next_fid_ = 1;
+  bool dead_ = false;
+  std::string death_reason_;
+  Kproc reader_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NINEP_CLIENT_H_

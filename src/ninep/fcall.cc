@@ -1,0 +1,486 @@
+#include "src/ninep/fcall.h"
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+void Dir::Pack(Bytes* out) const {
+  ByteWriter w(out);
+  w.FixedString(name, kNameLen);
+  w.FixedString(uid, kNameLen);
+  w.FixedString(gid, kNameLen);
+  w.U32(qid.path);
+  w.U32(qid.vers);
+  w.U32(mode);
+  w.U32(atime);
+  w.U32(mtime);
+  w.U64(length);
+  w.U16(type);
+  w.U16(dev);
+}
+
+Result<Dir> Dir::Unpack(ByteReader* reader) {
+  Dir d;
+  d.name = reader->FixedString(kNameLen);
+  d.uid = reader->FixedString(kNameLen);
+  d.gid = reader->FixedString(kNameLen);
+  d.qid.path = reader->U32();
+  d.qid.vers = reader->U32();
+  d.mode = reader->U32();
+  d.atime = reader->U32();
+  d.mtime = reader->U32();
+  d.length = reader->U64();
+  d.type = reader->U16();
+  d.dev = reader->U16();
+  if (!reader->ok()) {
+    return Error("short stat record");
+  }
+  return d;
+}
+
+const char* FcallTypeName(FcallType t) {
+  switch (t) {
+    case FcallType::kTnop:
+      return "Tnop";
+    case FcallType::kRnop:
+      return "Rnop";
+    case FcallType::kTsession:
+      return "Tsession";
+    case FcallType::kRsession:
+      return "Rsession";
+    case FcallType::kRerror:
+      return "Rerror";
+    case FcallType::kTflush:
+      return "Tflush";
+    case FcallType::kRflush:
+      return "Rflush";
+    case FcallType::kTattach:
+      return "Tattach";
+    case FcallType::kRattach:
+      return "Rattach";
+    case FcallType::kTclone:
+      return "Tclone";
+    case FcallType::kRclone:
+      return "Rclone";
+    case FcallType::kTwalk:
+      return "Twalk";
+    case FcallType::kRwalk:
+      return "Rwalk";
+    case FcallType::kTopen:
+      return "Topen";
+    case FcallType::kRopen:
+      return "Ropen";
+    case FcallType::kTcreate:
+      return "Tcreate";
+    case FcallType::kRcreate:
+      return "Rcreate";
+    case FcallType::kTread:
+      return "Tread";
+    case FcallType::kRread:
+      return "Rread";
+    case FcallType::kTwrite:
+      return "Twrite";
+    case FcallType::kRwrite:
+      return "Rwrite";
+    case FcallType::kTclunk:
+      return "Tclunk";
+    case FcallType::kRclunk:
+      return "Rclunk";
+    case FcallType::kTremove:
+      return "Tremove";
+    case FcallType::kRremove:
+      return "Rremove";
+    case FcallType::kTstat:
+      return "Tstat";
+    case FcallType::kRstat:
+      return "Rstat";
+    case FcallType::kTwstat:
+      return "Twstat";
+    case FcallType::kRwstat:
+      return "Rwstat";
+    case FcallType::kTclwalk:
+      return "Tclwalk";
+    case FcallType::kRclwalk:
+      return "Rclwalk";
+  }
+  return "?";
+}
+
+Result<Bytes> Fcall::Pack() const {
+  Bytes out;
+  out.reserve(64 + data.size());
+  ByteWriter w(&out);
+  w.U8(static_cast<uint8_t>(type));
+  w.U16(tag);
+  switch (type) {
+    case FcallType::kTnop:
+    case FcallType::kRnop:
+      break;
+    case FcallType::kTsession: {
+      Bytes c = chal;
+      c.resize(kChalLen);
+      w.Raw(c);
+      break;
+    }
+    case FcallType::kRsession: {
+      Bytes c = chal;
+      c.resize(kChalLen);
+      w.Raw(c);
+      w.FixedString(authid, kNameLen);
+      w.FixedString(authdom, kDomLen);
+      break;
+    }
+    case FcallType::kRerror:
+      w.FixedString(ename, kErrLen);
+      break;
+    case FcallType::kTflush:
+      w.U16(oldtag);
+      break;
+    case FcallType::kRflush:
+      break;
+    case FcallType::kTattach:
+      w.U32(fid);
+      w.FixedString(uname, kNameLen);
+      w.FixedString(aname, kNameLen);
+      break;
+    case FcallType::kRattach:
+      w.U32(fid);
+      w.U32(qid.path);
+      w.U32(qid.vers);
+      break;
+    case FcallType::kTclone:
+      w.U32(fid);
+      w.U32(newfid);
+      break;
+    case FcallType::kRclone:
+      w.U32(fid);
+      break;
+    case FcallType::kTwalk:
+      w.U32(fid);
+      w.FixedString(name, kNameLen);
+      break;
+    case FcallType::kRwalk:
+      w.U32(fid);
+      w.U32(qid.path);
+      w.U32(qid.vers);
+      break;
+    case FcallType::kTclwalk:
+      w.U32(fid);
+      w.U32(newfid);
+      w.FixedString(name, kNameLen);
+      break;
+    case FcallType::kRclwalk:
+      w.U32(fid);
+      w.U32(qid.path);
+      w.U32(qid.vers);
+      break;
+    case FcallType::kTopen:
+      w.U32(fid);
+      w.U8(mode);
+      break;
+    case FcallType::kRopen:
+      w.U32(fid);
+      w.U32(qid.path);
+      w.U32(qid.vers);
+      break;
+    case FcallType::kTcreate:
+      w.U32(fid);
+      w.FixedString(name, kNameLen);
+      w.U32(perm);
+      w.U8(mode);
+      break;
+    case FcallType::kRcreate:
+      w.U32(fid);
+      w.U32(qid.path);
+      w.U32(qid.vers);
+      break;
+    case FcallType::kTread:
+      w.U32(fid);
+      w.U64(offset);
+      w.U32(count);
+      break;
+    case FcallType::kRread:
+      if (data.size() > kMaxData) {
+        return Error("9p data too long");
+      }
+      w.U32(fid);
+      w.U32(static_cast<uint32_t>(data.size()));
+      w.Raw(data);
+      break;
+    case FcallType::kTwrite:
+      if (data.size() > kMaxData) {
+        return Error("9p data too long");
+      }
+      w.U32(fid);
+      w.U64(offset);
+      w.U32(static_cast<uint32_t>(data.size()));
+      w.Raw(data);
+      break;
+    case FcallType::kRwrite:
+      w.U32(fid);
+      w.U32(count);
+      break;
+    case FcallType::kTclunk:
+    case FcallType::kRclunk:
+    case FcallType::kTremove:
+    case FcallType::kRremove:
+    case FcallType::kTstat:
+    case FcallType::kRwstat:
+      w.U32(fid);
+      break;
+    case FcallType::kRstat: {
+      w.U32(fid);
+      Bytes rec;
+      stat.Pack(&rec);
+      w.Raw(rec);
+      break;
+    }
+    case FcallType::kTwstat: {
+      w.U32(fid);
+      Bytes rec;
+      stat.Pack(&rec);
+      w.Raw(rec);
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Fcall> Fcall::Unpack(const Bytes& raw) {
+  ByteReader r(raw);
+  Fcall f;
+  uint8_t t = r.U8();
+  if (t < 50 || t > 81 || t == 54) {
+    return Error(StrFormat("bad 9p message type %d", t));
+  }
+  f.type = static_cast<FcallType>(t);
+  f.tag = r.U16();
+  switch (f.type) {
+    case FcallType::kTnop:
+    case FcallType::kRnop:
+    case FcallType::kRflush:
+      break;
+    case FcallType::kTsession:
+      f.chal = r.Raw(kChalLen);
+      break;
+    case FcallType::kRsession:
+      f.chal = r.Raw(kChalLen);
+      f.authid = r.FixedString(kNameLen);
+      f.authdom = r.FixedString(kDomLen);
+      break;
+    case FcallType::kRerror:
+      f.ename = r.FixedString(kErrLen);
+      break;
+    case FcallType::kTflush:
+      f.oldtag = r.U16();
+      break;
+    case FcallType::kTattach:
+      f.fid = r.U32();
+      f.uname = r.FixedString(kNameLen);
+      f.aname = r.FixedString(kNameLen);
+      break;
+    case FcallType::kRattach:
+    case FcallType::kRwalk:
+    case FcallType::kRclwalk:
+    case FcallType::kRopen:
+    case FcallType::kRcreate:
+      f.fid = r.U32();
+      f.qid.path = r.U32();
+      f.qid.vers = r.U32();
+      break;
+    case FcallType::kTclone:
+      f.fid = r.U32();
+      f.newfid = r.U32();
+      break;
+    case FcallType::kRclone:
+    case FcallType::kTclunk:
+    case FcallType::kRclunk:
+    case FcallType::kTremove:
+    case FcallType::kRremove:
+    case FcallType::kTstat:
+    case FcallType::kRwstat:
+      f.fid = r.U32();
+      break;
+    case FcallType::kTwalk:
+      f.fid = r.U32();
+      f.name = r.FixedString(kNameLen);
+      break;
+    case FcallType::kTclwalk:
+      f.fid = r.U32();
+      f.newfid = r.U32();
+      f.name = r.FixedString(kNameLen);
+      break;
+    case FcallType::kTopen:
+      f.fid = r.U32();
+      f.mode = r.U8();
+      break;
+    case FcallType::kTcreate:
+      f.fid = r.U32();
+      f.name = r.FixedString(kNameLen);
+      f.perm = r.U32();
+      f.mode = r.U8();
+      break;
+    case FcallType::kTread:
+      f.fid = r.U32();
+      f.offset = r.U64();
+      f.count = r.U32();
+      break;
+    case FcallType::kRread: {
+      f.fid = r.U32();
+      uint32_t n = r.U32();
+      if (n > kMaxData) {
+        return Error("9p data too long");
+      }
+      f.data = r.Raw(n);
+      break;
+    }
+    case FcallType::kTwrite: {
+      f.fid = r.U32();
+      f.offset = r.U64();
+      uint32_t n = r.U32();
+      if (n > kMaxData) {
+        return Error("9p data too long");
+      }
+      f.data = r.Raw(n);
+      break;
+    }
+    case FcallType::kRwrite:
+      f.fid = r.U32();
+      f.count = r.U32();
+      break;
+    case FcallType::kRstat:
+    case FcallType::kTwstat: {
+      f.fid = r.U32();
+      auto d = Dir::Unpack(&r);
+      if (!d.ok()) {
+        return d.error();
+      }
+      f.stat = d.take();
+      break;
+    }
+  }
+  if (!r.ok()) {
+    return Error(StrFormat("short 9p message (%s)", FcallTypeName(f.type)));
+  }
+  return f;
+}
+
+std::string Fcall::DebugString() const {
+  return StrFormat("%s tag %u fid %u name '%s' count %u offset %llu err '%s'",
+                   FcallTypeName(type), tag, fid, name.c_str(),
+                   static_cast<unsigned>(count ? count : data.size()),
+                   static_cast<unsigned long long>(offset), ename.c_str());
+}
+
+Fcall TnopMsg() {
+  Fcall f;
+  f.type = FcallType::kTnop;
+  return f;
+}
+Fcall TsessionMsg() {
+  Fcall f;
+  f.type = FcallType::kTsession;
+  return f;
+}
+Fcall TattachMsg(uint32_t fid, std::string uname, std::string aname) {
+  Fcall f;
+  f.type = FcallType::kTattach;
+  f.fid = fid;
+  f.uname = std::move(uname);
+  f.aname = std::move(aname);
+  return f;
+}
+Fcall TcloneMsg(uint32_t fid, uint32_t newfid) {
+  Fcall f;
+  f.type = FcallType::kTclone;
+  f.fid = fid;
+  f.newfid = newfid;
+  return f;
+}
+Fcall TwalkMsg(uint32_t fid, std::string name) {
+  Fcall f;
+  f.type = FcallType::kTwalk;
+  f.fid = fid;
+  f.name = std::move(name);
+  return f;
+}
+Fcall TclwalkMsg(uint32_t fid, uint32_t newfid, std::string name) {
+  Fcall f;
+  f.type = FcallType::kTclwalk;
+  f.fid = fid;
+  f.newfid = newfid;
+  f.name = std::move(name);
+  return f;
+}
+Fcall TopenMsg(uint32_t fid, uint8_t mode) {
+  Fcall f;
+  f.type = FcallType::kTopen;
+  f.fid = fid;
+  f.mode = mode;
+  return f;
+}
+Fcall TcreateMsg(uint32_t fid, std::string name, uint32_t perm, uint8_t mode) {
+  Fcall f;
+  f.type = FcallType::kTcreate;
+  f.fid = fid;
+  f.name = std::move(name);
+  f.perm = perm;
+  f.mode = mode;
+  return f;
+}
+Fcall TreadMsg(uint32_t fid, uint64_t offset, uint32_t count) {
+  Fcall f;
+  f.type = FcallType::kTread;
+  f.fid = fid;
+  f.offset = offset;
+  f.count = count;
+  return f;
+}
+Fcall TwriteMsg(uint32_t fid, uint64_t offset, Bytes data) {
+  Fcall f;
+  f.type = FcallType::kTwrite;
+  f.fid = fid;
+  f.offset = offset;
+  f.data = std::move(data);
+  return f;
+}
+Fcall TclunkMsg(uint32_t fid) {
+  Fcall f;
+  f.type = FcallType::kTclunk;
+  f.fid = fid;
+  return f;
+}
+Fcall TremoveMsg(uint32_t fid) {
+  Fcall f;
+  f.type = FcallType::kTremove;
+  f.fid = fid;
+  return f;
+}
+Fcall TstatMsg(uint32_t fid) {
+  Fcall f;
+  f.type = FcallType::kTstat;
+  f.fid = fid;
+  return f;
+}
+Fcall TwstatMsg(uint32_t fid, Dir stat) {
+  Fcall f;
+  f.type = FcallType::kTwstat;
+  f.fid = fid;
+  f.stat = std::move(stat);
+  return f;
+}
+Fcall TflushMsg(uint16_t oldtag) {
+  Fcall f;
+  f.type = FcallType::kTflush;
+  f.oldtag = oldtag;
+  return f;
+}
+Fcall RerrorMsg(uint16_t tag, std::string ename) {
+  Fcall f;
+  f.type = FcallType::kRerror;
+  f.tag = tag;
+  f.ename = std::move(ename);
+  return f;
+}
+
+}  // namespace plan9

@@ -1,0 +1,282 @@
+#include "src/ninep/ramfs.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+struct RamFs::Node {
+  std::string name;
+  std::string uid = "sys";
+  std::string gid = "sys";
+  uint32_t mode = 0;  // kDmDir for directories
+  uint32_t atime = 0;
+  uint32_t mtime = 0;
+  uint32_t qid_path = 0;
+  uint32_t qid_vers = 0;
+  Bytes contents;                                     // files
+  std::map<std::string, std::shared_ptr<Node>> kids;  // directories
+  std::weak_ptr<Node> parent;
+  bool removed = false;
+
+  bool IsDir() const { return (mode & kDmDir) != 0; }
+  Qid qid() const {
+    return Qid{qid_path | (IsDir() ? kQidDirBit : 0), qid_vers};
+  }
+  Dir DirEntry() const {
+    Dir d;
+    d.name = name;
+    d.uid = uid;
+    d.gid = gid;
+    d.qid = qid();
+    d.mode = mode;
+    d.atime = atime;
+    d.mtime = mtime;
+    d.length = IsDir() ? 0 : contents.size();
+    d.type = 'r';
+    return d;
+  }
+};
+
+namespace {
+
+class RamVnode : public Vnode {
+ public:
+  RamVnode(RamFs* fs, std::shared_ptr<RamFs::Node> node)
+      : fs_(fs), node_(std::move(node)) {}
+
+  Qid qid() override {
+    QLockGuard guard(fs_->lock_);
+    return node_->qid();
+  }
+
+  Result<Dir> Stat() override {
+    QLockGuard guard(fs_->lock_);
+    return node_->DirEntry();
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    QLockGuard guard(fs_->lock_);
+    if (!node_->IsDir()) {
+      return Error(kErrNotDir);
+    }
+    if (name == ".") {
+      return std::shared_ptr<Vnode>(std::make_shared<RamVnode>(fs_, node_));
+    }
+    if (name == "..") {
+      auto parent = node_->parent.lock();
+      return std::shared_ptr<Vnode>(
+          std::make_shared<RamVnode>(fs_, parent != nullptr ? parent : node_));
+    }
+    auto it = node_->kids.find(name);
+    if (it == node_->kids.end()) {
+      return Error(kErrNotExist);
+    }
+    return std::shared_ptr<Vnode>(std::make_shared<RamVnode>(fs_, it->second));
+  }
+
+  Status Open(uint8_t mode, const std::string& user) override {
+    QLockGuard guard(fs_->lock_);
+    if (node_->removed) {
+      return Error(kErrNotExist);
+    }
+    if ((mode & kOTrunc) != 0 && !node_->IsDir()) {
+      node_->contents.clear();
+      node_->qid_vers++;
+    }
+    if (node_->IsDir() && (mode & 3) != kORead) {
+      return Error(kErrIsDir);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::shared_ptr<Vnode>> Create(const std::string& name, uint32_t perm,
+                                        uint8_t mode, const std::string& user) override {
+    QLockGuard guard(fs_->lock_);
+    if (!node_->IsDir()) {
+      return Error(kErrNotDir);
+    }
+    if (name.empty() || name == "." || name == ".." ||
+        name.find('/') != std::string::npos || name.size() >= kNameLen) {
+      return Error("bad file name");
+    }
+    if (node_->kids.count(name) != 0) {
+      return Error(kErrExists);
+    }
+    auto kid = std::make_shared<RamFs::Node>();
+    kid->name = name;
+    kid->uid = user.empty() ? "sys" : user;
+    kid->gid = kid->uid;
+    kid->mode = perm;
+    kid->qid_path = fs_->next_path_++;
+    kid->parent = node_;
+    node_->kids[name] = kid;
+    node_->qid_vers++;
+    return std::shared_ptr<Vnode>(std::make_shared<RamVnode>(fs_, kid));
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    QLockGuard guard(fs_->lock_);
+    if (node_->IsDir()) {
+      std::vector<Dir> entries;
+      for (auto& [name, kid] : node_->kids) {
+        entries.push_back(kid->DirEntry());
+      }
+      return PackDirEntries(entries, offset, count);
+    }
+    if (offset >= node_->contents.size()) {
+      return Bytes{};
+    }
+    size_t n = std::min<size_t>(count, node_->contents.size() - offset);
+    return Bytes(node_->contents.begin() + static_cast<long>(offset),
+                 node_->contents.begin() + static_cast<long>(offset + n));
+  }
+
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
+    QLockGuard guard(fs_->lock_);
+    if (node_->IsDir()) {
+      return Error(kErrIsDir);
+    }
+    if (node_->removed) {
+      return Error(kErrNotExist);
+    }
+    if ((node_->mode & kDmAppend) != 0) {
+      offset = node_->contents.size();
+    }
+    if (offset + data.size() > node_->contents.size()) {
+      node_->contents.resize(offset + data.size());
+    }
+    std::copy(data.begin(), data.end(),
+              node_->contents.begin() + static_cast<long>(offset));
+    node_->qid_vers++;
+    node_->mtime++;
+    return static_cast<uint32_t>(data.size());
+  }
+
+  Status Remove() override {
+    QLockGuard guard(fs_->lock_);
+    auto parent = node_->parent.lock();
+    if (parent == nullptr) {
+      return Error("cannot remove root");
+    }
+    if (node_->IsDir() && !node_->kids.empty()) {
+      return Error("directory not empty");
+    }
+    parent->kids.erase(node_->name);
+    parent->qid_vers++;
+    node_->removed = true;
+    return Status::Ok();
+  }
+
+  Status Wstat(const Dir& d) override {
+    QLockGuard guard(fs_->lock_);
+    if (!d.name.empty() && d.name != node_->name) {
+      auto parent = node_->parent.lock();
+      if (parent == nullptr) {
+        return Error("cannot rename root");
+      }
+      if (parent->kids.count(d.name) != 0) {
+        return Error(kErrExists);
+      }
+      parent->kids.erase(node_->name);
+      node_->name = d.name;
+      parent->kids[d.name] = node_;
+    }
+    if (d.mode != 0xffffffffu && d.mode != 0) {
+      // Keep the directory bit honest.
+      node_->mode = (node_->mode & kDmDir) | (d.mode & ~kDmDir);
+    }
+    node_->qid_vers++;
+    return Status::Ok();
+  }
+
+ private:
+  RamFs* fs_;
+  std::shared_ptr<RamFs::Node> node_;
+};
+
+}  // namespace
+
+RamFs::RamFs() {
+  root_ = std::make_shared<Node>();
+  root_->name = "/";
+  root_->mode = kDmDir | 0777;
+  root_->qid_path = next_path_++;
+}
+
+RamFs::~RamFs() = default;
+
+Result<std::shared_ptr<Vnode>> RamFs::Attach(const std::string& uname,
+                                             const std::string& aname) {
+  return std::shared_ptr<Vnode>(std::make_shared<RamVnode>(this, root_));
+}
+
+Status RamFs::MkdirAll(const std::string& path) {
+  std::shared_ptr<Vnode> cur = Attach("sys", "").take();
+  for (auto& part : GetFields(path, "/")) {
+    auto next = cur->Walk(part);
+    if (next.ok()) {
+      cur = next.take();
+      continue;
+    }
+    auto made = cur->Create(part, kDmDir | 0775, kORead, "sys");
+    if (!made.ok()) {
+      return made.error();
+    }
+    cur = made.take();
+  }
+  return Status::Ok();
+}
+
+Status RamFs::WriteFile(const std::string& path, std::string_view contents) {
+  auto parts = GetFields(path, "/");
+  if (parts.empty()) {
+    return Error(kErrBadArg);
+  }
+  std::string dir = Join(std::vector<std::string>(parts.begin(), parts.end() - 1), "/");
+  if (!dir.empty()) {
+    P9_RETURN_IF_ERROR(MkdirAll(dir));
+  }
+  std::shared_ptr<Vnode> cur = Attach("sys", "").take();
+  for (size_t i = 0; i + 1 < parts.size(); i++) {
+    P9_ASSIGN_OR_RETURN(cur, cur->Walk(parts[i]));
+  }
+  auto existing = cur->Walk(parts.back());
+  std::shared_ptr<Vnode> file;
+  if (existing.ok()) {
+    file = existing.take();
+    P9_RETURN_IF_ERROR(file->Open(kOWrite | kOTrunc, "sys"));
+  } else {
+    P9_ASSIGN_OR_RETURN(file, cur->Create(parts.back(), 0664, kOWrite, "sys"));
+  }
+  auto n = file->Write(0, ToBytes(contents));
+  if (!n.ok()) {
+    return n.error();
+  }
+  return Status::Ok();
+}
+
+Result<std::string> RamFs::ReadFileText(const std::string& path) {
+  std::shared_ptr<Vnode> cur = Attach("sys", "").take();
+  for (auto& part : GetFields(path, "/")) {
+    P9_ASSIGN_OR_RETURN(cur, cur->Walk(part));
+  }
+  std::string out;
+  uint64_t offset = 0;
+  for (;;) {
+    auto chunk = cur->Read(offset, kMaxData);
+    if (!chunk.ok()) {
+      return chunk.error();
+    }
+    if (chunk->empty()) {
+      break;
+    }
+    out.append(chunk->begin(), chunk->end());
+    offset += chunk->size();
+  }
+  return out;
+}
+
+}  // namespace plan9

@@ -1,0 +1,42 @@
+// RamFs — a memory file system implementing Vfs.
+//
+// Used as each node's root (every Plan 9 file tree needs somewhere to bind
+// /net, /srv, /lib into), as exportfs test cargo, and as the ftpfs cache.
+// Supports the full 9P1 surface: walk/create/remove/read/write/stat/wstat
+// (including rename), directories, permission bits, append-only files.
+#ifndef SRC_NINEP_RAMFS_H_
+#define SRC_NINEP_RAMFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/ninep/server.h"
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+class RamFs : public Vfs {
+ public:
+  RamFs();
+  ~RamFs() override;
+
+  Result<std::shared_ptr<Vnode>> Attach(const std::string& uname,
+                                        const std::string& aname) override;
+
+  // Build helpers for initial trees: "a/b/c" relative to the root.
+  Status MkdirAll(const std::string& path);
+  Status WriteFile(const std::string& path, std::string_view contents);
+  Result<std::string> ReadFileText(const std::string& path);
+
+  struct Node;
+
+  // Implementation state, public for the file-local RamVnode class.
+  QLock lock_;  // one lock for the whole tree (simple and safe)
+  std::shared_ptr<Node> root_;
+  uint32_t next_path_ = 1;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NINEP_RAMFS_H_

@@ -1,0 +1,412 @@
+#include "src/ninep/server.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace {
+constexpr int kWorkers = 4;
+}  // namespace
+
+Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
+                             uint32_t count) {
+  // 9P1 semantics: directory reads must be aligned to whole stat records.
+  if (offset % kDirLen != 0 || count % kDirLen != 0) {
+    return Error("i/o count not a multiple of directory record");
+  }
+  size_t first = offset / kDirLen;
+  size_t n = count / kDirLen;
+  Bytes out;
+  for (size_t i = first; i < entries.size() && i - first < n; i++) {
+    entries[i].Pack(&out);
+  }
+  return out;
+}
+
+NinepServer::NinepServer(Vfs* vfs, std::unique_ptr<MsgTransport> transport,
+                         std::string name)
+    : vfs_(vfs), transport_(std::move(transport)) {
+  for (int i = 0; i < kWorkers; i++) {
+    workers_.emplace_back(StrFormat("%s.w%d", name.c_str(), i), [this] { Worker(); });
+  }
+  reader_ = Kproc(name + ".reader", [this] { ReaderLoop(); });
+}
+
+NinepServer::~NinepServer() { Shutdown(); }
+
+void NinepServer::Shutdown() {
+  {
+    QLockGuard guard(lock_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  transport_->Close();
+  work_ready_.Wakeup();
+  Wait();
+}
+
+void NinepServer::Wait() {
+  reader_.Join();
+  for (auto& w : workers_) {
+    w.Join();
+  }
+}
+
+void NinepServer::ReaderLoop() {
+  for (;;) {
+    auto raw = transport_->ReadMsg();
+    if (!raw.ok() || raw->empty()) {
+      break;  // EOF or dead transport
+    }
+    auto req = Fcall::Unpack(*raw);
+    if (!req.ok()) {
+      P9_LOG(kWarn) << "9p server: " << req.error().message();
+      continue;
+    }
+    if (!req->IsT()) {
+      continue;  // stray reply; ignore
+    }
+    {
+      QLockGuard guard(lock_);
+      outstanding_.insert(req->tag);
+      work_.push_back(req.take());
+    }
+    work_ready_.Wakeup();
+  }
+  {
+    QLockGuard guard(lock_);
+    stopping_ = true;
+  }
+  work_ready_.Wakeup();
+}
+
+void NinepServer::Worker() {
+  for (;;) {
+    Fcall req;
+    {
+      QLockGuard guard(lock_);
+      work_ready_.Sleep(guard, [&] { return stopping_ || !work_.empty(); });
+      if (work_.empty()) {
+        return;  // stopping
+      }
+      req = std::move(work_.front());
+      work_.pop_front();
+    }
+    Dispatch(std::move(req));
+  }
+}
+
+void NinepServer::Reply(const Fcall& reply) {
+  {
+    QLockGuard guard(lock_);
+    outstanding_.erase(reply.tag);
+    if (flushed_.erase(reply.tag) > 0) {
+      return;  // a Tflush asked us to drop this reply
+    }
+  }
+  auto packed = reply.Pack();
+  if (!packed.ok()) {
+    P9_LOG(kWarn) << "9p server pack: " << packed.error().message();
+    return;
+  }
+  QLockGuard guard(write_lock_);
+  (void)transport_->WriteMsg(*packed);
+}
+
+void NinepServer::ReplyError(uint16_t tag, const std::string& ename) {
+  Reply(RerrorMsg(tag, ename));
+}
+
+Result<NinepServer::FidState*> NinepServer::GetFidLocked(uint32_t fid) {
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return Error("unknown fid");
+  }
+  return &it->second;
+}
+
+void NinepServer::Dispatch(Fcall req) {
+  Fcall reply;
+  reply.type = static_cast<FcallType>(static_cast<uint8_t>(req.type) + 1);
+  reply.tag = req.tag;
+  reply.fid = req.fid;
+
+  switch (req.type) {
+    case FcallType::kTnop:
+      Reply(reply);
+      return;
+    case FcallType::kTsession:
+      // Auth is external to 9P (§2.1); echo a null challenge.
+      reply.chal = Bytes(kChalLen, 0);
+      reply.authid = "none";
+      reply.authdom = "plan9net";
+      Reply(reply);
+      return;
+    case FcallType::kTflush: {
+      // If the old request is still outstanding, suppress its eventual
+      // reply.  (We do not interrupt a blocked operation; see DESIGN.md.)
+      QLockGuard guard(lock_);
+      if (outstanding_.count(req.oldtag) != 0) {
+        flushed_.insert(req.oldtag);
+      }
+      guard.native().unlock();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTattach: {
+      auto root = vfs_->Attach(req.uname, req.aname);
+      if (!root.ok()) {
+        ReplyError(req.tag, root.error().message());
+        return;
+      }
+      {
+        QLockGuard guard(lock_);
+        if (fids_.count(req.fid) != 0) {
+          guard.native().unlock();
+          ReplyError(req.tag, "fid in use");
+          return;
+        }
+        fids_[req.fid] = FidState{*root, req.uname, false, 0};
+      }
+      reply.qid = (*root)->qid();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTclone: {
+      QLockGuard guard(lock_);
+      auto fs = GetFidLocked(req.fid);
+      if (!fs.ok()) {
+        guard.native().unlock();
+        ReplyError(req.tag, fs.error().message());
+        return;
+      }
+      if ((*fs)->open) {
+        guard.native().unlock();
+        ReplyError(req.tag, "cannot clone open fid");
+        return;
+      }
+      if (fids_.count(req.newfid) != 0) {
+        guard.native().unlock();
+        ReplyError(req.tag, "fid in use");
+        return;
+      }
+      fids_[req.newfid] = **fs;
+      guard.native().unlock();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTwalk:
+    case FcallType::kTclwalk: {
+      std::shared_ptr<Vnode> node;
+      std::string user;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+        user = (*fs)->user;
+        if (req.type == FcallType::kTclwalk && fids_.count(req.newfid) != 0) {
+          guard.native().unlock();
+          ReplyError(req.tag, "fid in use");
+          return;
+        }
+      }
+      auto walked = node->Walk(req.name);
+      if (!walked.ok()) {
+        ReplyError(req.tag, walked.error().message());
+        return;
+      }
+      {
+        QLockGuard guard(lock_);
+        uint32_t target = req.type == FcallType::kTclwalk ? req.newfid : req.fid;
+        fids_[target] = FidState{*walked, user, false, 0};
+      }
+      reply.qid = (*walked)->qid();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTopen: {
+      std::shared_ptr<Vnode> node;
+      std::string user;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+        user = (*fs)->user;
+      }
+      Status opened = node->Open(req.mode, user);
+      if (!opened.ok()) {
+        ReplyError(req.tag, opened.error().message());
+        return;
+      }
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (fs.ok()) {
+          (*fs)->open = true;
+          (*fs)->open_mode = req.mode;
+        }
+      }
+      reply.qid = node->qid();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTcreate: {
+      std::shared_ptr<Vnode> node;
+      std::string user;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+        user = (*fs)->user;
+      }
+      auto created = node->Create(req.name, req.perm, req.mode, user);
+      if (!created.ok()) {
+        ReplyError(req.tag, created.error().message());
+        return;
+      }
+      {
+        QLockGuard guard(lock_);
+        fids_[req.fid] = FidState{*created, user, true, req.mode};
+      }
+      reply.qid = (*created)->qid();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTread: {
+      std::shared_ptr<Vnode> node;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok() || !(*fs)->open) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.ok() ? "fid not open" : fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+      }
+      auto data = node->Read(req.offset, std::min(req.count, kMaxData));
+      if (!data.ok()) {
+        ReplyError(req.tag, data.error().message());
+        return;
+      }
+      reply.data = data.take();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTwrite: {
+      std::shared_ptr<Vnode> node;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok() || !(*fs)->open) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.ok() ? "fid not open" : fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+      }
+      auto n = node->Write(req.offset, req.data);
+      if (!n.ok()) {
+        ReplyError(req.tag, n.error().message());
+        return;
+      }
+      reply.count = *n;
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTclunk:
+    case FcallType::kTremove: {
+      std::shared_ptr<Vnode> node;
+      bool was_open = false;
+      uint8_t open_mode = 0;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+        was_open = (*fs)->open;
+        open_mode = (*fs)->open_mode;
+        fids_.erase(req.fid);
+      }
+      if (was_open) {
+        node->Close(open_mode);
+      }
+      if (req.type == FcallType::kTremove) {
+        Status removed = node->Remove();
+        if (!removed.ok()) {
+          ReplyError(req.tag, removed.error().message());
+          return;
+        }
+      }
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTstat: {
+      std::shared_ptr<Vnode> node;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+      }
+      auto d = node->Stat();
+      if (!d.ok()) {
+        ReplyError(req.tag, d.error().message());
+        return;
+      }
+      reply.stat = d.take();
+      Reply(reply);
+      return;
+    }
+    case FcallType::kTwstat: {
+      std::shared_ptr<Vnode> node;
+      {
+        QLockGuard guard(lock_);
+        auto fs = GetFidLocked(req.fid);
+        if (!fs.ok()) {
+          guard.native().unlock();
+          ReplyError(req.tag, fs.error().message());
+          return;
+        }
+        node = (*fs)->node;
+      }
+      Status s = node->Wstat(req.stat);
+      if (!s.ok()) {
+        ReplyError(req.tag, s.error().message());
+        return;
+      }
+      Reply(reply);
+      return;
+    }
+    default:
+      ReplyError(req.tag, "illegal 9p message");
+      return;
+  }
+}
+
+}  // namespace plan9

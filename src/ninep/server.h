@@ -1,0 +1,118 @@
+// 9P server framework.
+//
+// External file servers "use an RPC form" of the protocol (§2.1).  A
+// NinepServer speaks 9P over one MsgTransport on behalf of a Vfs.  Requests
+// are dispatched to a worker pool — "Exportfs must be multithreaded since
+// the system calls open, read and write may block" (§6.1) — with replies
+// serialized onto the transport.
+#ifndef SRC_NINEP_SERVER_H_
+#define SRC_NINEP_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/ninep/fcall.h"
+#include "src/ninep/transport.h"
+#include "src/task/kproc.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+// A server-side file object.  Implementations: RamFs nodes, synthetic trees
+// (SrvFile), exportfs relays.
+class Vnode {
+ public:
+  virtual ~Vnode() = default;
+
+  virtual Qid qid() = 0;
+  virtual Result<Dir> Stat() = 0;
+
+  // Walk one component ("." and ".." included).  Only meaningful on dirs.
+  virtual Result<std::shared_ptr<Vnode>> Walk(const std::string& name) = 0;
+
+  // Prepare for I/O.  `user` is the attach uname.
+  virtual Status Open(uint8_t mode, const std::string& user) { return Status::Ok(); }
+
+  virtual Result<std::shared_ptr<Vnode>> Create(const std::string& name, uint32_t perm,
+                                                uint8_t mode, const std::string& user) {
+    return Error(kErrPerm);
+  }
+
+  // Directories return packed Dir records (offset/count in bytes, kDirLen
+  // aligned); PackDirEntries below helps.
+  virtual Result<Bytes> Read(uint64_t offset, uint32_t count) = 0;
+
+  virtual Result<uint32_t> Write(uint64_t offset, const Bytes& data) {
+    return Error(kErrPerm);
+  }
+
+  virtual Status Remove() { return Error(kErrPerm); }
+  virtual Status Wstat(const Dir& d) { return Error(kErrPerm); }
+
+  // Last reference via an *opened* fid went away.
+  virtual void Close(uint8_t mode) {}
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+  virtual Result<std::shared_ptr<Vnode>> Attach(const std::string& uname,
+                                                const std::string& aname) = 0;
+};
+
+// Helper: serve a directory read from a materialized entry list.
+Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
+                             uint32_t count);
+
+class NinepServer {
+ public:
+  // Serves until EOF on the transport; call Shutdown() or destroy to stop.
+  // `vfs` must outlive the server.
+  NinepServer(Vfs* vfs, std::unique_ptr<MsgTransport> transport,
+              std::string name = "9p.server");
+  ~NinepServer();
+
+  void Shutdown();
+  // Block until the serve loop exits (EOF or Shutdown).
+  void Wait();
+
+ private:
+  struct FidState {
+    std::shared_ptr<Vnode> node;
+    std::string user;
+    bool open = false;
+    uint8_t open_mode = 0;
+  };
+
+  void ReaderLoop();
+  void Worker();
+  void Dispatch(Fcall req);
+  void Reply(const Fcall& reply);
+  void ReplyError(uint16_t tag, const std::string& ename);
+  Result<FidState*> GetFidLocked(uint32_t fid);
+
+  Vfs* vfs_;
+  std::unique_ptr<MsgTransport> transport_;
+  QLock write_lock_;  // serializes replies
+
+  QLock lock_;  // fid table + work queue
+  std::map<uint32_t, FidState> fids_;
+  std::deque<Fcall> work_;
+  Rendez work_ready_;
+  std::set<uint16_t> flushed_;  // tags whose replies must be suppressed
+  std::set<uint16_t> outstanding_;
+  bool stopping_ = false;
+
+  std::vector<Kproc> workers_;
+  Kproc reader_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NINEP_SERVER_H_

@@ -1,0 +1,101 @@
+// Message transports for 9P.
+//
+// 9P "assumes messages arrive reliably and in sequence and that delimiters
+// between messages are preserved.  When a protocol does not meet these
+// requirements (for example, TCP does not preserve delimiters) we provide
+// mechanisms to marshal messages before handing them to the system."
+//
+//   * StreamMsgTransport — over a delimiter-preserving Stream (pipes, IL,
+//     URP/Datakit, Cyclone): one delimited write per message, no framing.
+//   * FramedMsgTransport — over a byte stream (TCP): each message carries a
+//     4-byte little-endian length prefix (the marshal mechanism).
+//   * PipeTransport — an in-process bidirectional queue pair, used to mount
+//     kernel-resident user-level servers without a network.
+#ifndef SRC_NINEP_TRANSPORT_H_
+#define SRC_NINEP_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/stream/queue.h"
+#include "src/stream/stream.h"
+
+namespace plan9 {
+
+class MsgTransport {
+ public:
+  virtual ~MsgTransport() = default;
+
+  // Blocking read of one whole 9P message.  Empty bytes = EOF/hangup.
+  virtual Result<Bytes> ReadMsg() = 0;
+  virtual Status WriteMsg(const Bytes& msg) = 0;
+  virtual void Close() = 0;
+};
+
+// Over a Stream that preserves delimiters.  Does not own the stream.
+class StreamMsgTransport : public MsgTransport {
+ public:
+  explicit StreamMsgTransport(Stream* stream) : stream_(stream) {}
+
+  Result<Bytes> ReadMsg() override { return stream_->ReadMessage(); }
+  Status WriteMsg(const Bytes& msg) override {
+    return stream_->WriteBlock(MakeDataBlock(msg, /*delim=*/true));
+  }
+  void Close() override { stream_->Hangup(); }
+
+ private:
+  Stream* stream_;
+};
+
+// Over a byte-oriented channel: reader/writer callbacks (e.g. the data file
+// of a TCP conversation).  Adds/strips the length prefix.
+class FramedMsgTransport : public MsgTransport {
+ public:
+  // read: fill up to n bytes, return count (0 = EOF).  write: all-or-error.
+  using ReadFn = std::function<Result<size_t>(uint8_t* buf, size_t n)>;
+  using WriteFn = std::function<Status(const uint8_t* data, size_t n)>;
+  using CloseFn = std::function<void()>;
+
+  FramedMsgTransport(ReadFn read, WriteFn write, CloseFn close)
+      : read_(std::move(read)), write_(std::move(write)), close_(std::move(close)) {}
+
+  Result<Bytes> ReadMsg() override;
+  Status WriteMsg(const Bytes& msg) override;
+  void Close() override {
+    if (close_) {
+      close_();
+    }
+  }
+
+ private:
+  // Read exactly n bytes; false at EOF before any byte.
+  Result<bool> ReadFull(uint8_t* buf, size_t n);
+
+  ReadFn read_;
+  WriteFn write_;
+  CloseFn close_;
+};
+
+// An in-process full-duplex message pipe; Make() returns the two ends.
+class PipeTransport : public MsgTransport {
+ public:
+  static std::pair<std::unique_ptr<MsgTransport>, std::unique_ptr<MsgTransport>> Make();
+
+  Result<Bytes> ReadMsg() override;
+  Status WriteMsg(const Bytes& msg) override;
+  void Close() override;
+
+ private:
+  PipeTransport(std::shared_ptr<Queue> rx, std::shared_ptr<Queue> tx)
+      : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+  std::shared_ptr<Queue> rx_;
+  std::shared_ptr<Queue> tx_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NINEP_TRANSPORT_H_

@@ -1,0 +1,64 @@
+// Chan — the kernel's handle on a file (§2.1).
+//
+// "A kernel data structure, the channel, is a handle to a file server."  In
+// this library every file provider — kernel-resident device driver, local
+// user-level server, or remote server via the mount driver — presents Vnode
+// objects; a Chan binds a Vnode to a name-space position plus open state.
+#ifndef SRC_NS_CHAN_H_
+#define SRC_NS_CHAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ninep/fcall.h"
+#include "src/ninep/server.h"
+
+namespace plan9 {
+
+struct Chan;
+using ChanPtr = std::shared_ptr<Chan>;
+
+struct Chan {
+  std::shared_ptr<Vnode> node;
+  // Identity of the *server instance* providing the node.  (dev_id,
+  // qid.path) names a file uniquely across the whole name space; it is the
+  // mount-table key.
+  uint64_t dev_id = 0;
+  Qid qid;
+  // The path by which this chan was reached (diagnostics, status files).
+  std::string path;
+
+  bool open = false;
+  uint8_t mode = 0;
+
+  // When this chan sits on a union mount point, the ordered stack of
+  // directories mounted there ("Local entries supersede remote ones", §6.1:
+  // earlier elements win).  Empty for ordinary files.
+  std::vector<ChanPtr> union_stack;
+
+  bool IsDir() const { return qid.IsDir(); }
+
+  static ChanPtr Make(std::shared_ptr<Vnode> node, uint64_t dev_id, std::string path) {
+    auto c = std::make_shared<Chan>();
+    c->node = std::move(node);
+    c->dev_id = dev_id;
+    c->qid = c->node->qid();
+    c->path = std::move(path);
+    return c;
+  }
+
+  ChanPtr CloneUnopened() const {
+    auto c = std::make_shared<Chan>();
+    c->node = node;
+    c->dev_id = dev_id;
+    c->qid = qid;
+    c->path = path;
+    c->union_stack = union_stack;
+    return c;
+  }
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NS_CHAN_H_

@@ -1,0 +1,91 @@
+#include "src/ns/mnt.h"
+
+namespace plan9 {
+
+Result<std::shared_ptr<Vnode>> MntAttach(std::shared_ptr<NinepClient> client,
+                                         const std::string& uname,
+                                         const std::string& aname) {
+  P9_RETURN_IF_ERROR(client->Session());
+  uint32_t fid = client->AllocFid();
+  auto qid = client->Attach(fid, uname, aname);
+  if (!qid.ok()) {
+    return qid.error();
+  }
+  return std::shared_ptr<Vnode>(std::make_shared<MntVnode>(std::move(client), fid, *qid));
+}
+
+MntVnode::~MntVnode() {
+  if (!removed_ && client_->ok()) {
+    (void)client_->Clunk(fid_);
+  }
+}
+
+Result<Dir> MntVnode::Stat() { return client_->Stat(fid_); }
+
+Result<std::shared_ptr<Vnode>> MntVnode::Walk(const std::string& name) {
+  uint32_t newfid = client_->AllocFid();
+  auto qid = client_->CloneWalk(fid_, newfid, {name});
+  if (!qid.ok()) {
+    return qid.error();
+  }
+  return std::shared_ptr<Vnode>(std::make_shared<MntVnode>(client_, newfid, *qid));
+}
+
+Status MntVnode::Open(uint8_t mode, const std::string& user) {
+  auto qid = client_->Open(fid_, mode);
+  if (!qid.ok()) {
+    return qid.error();
+  }
+  qid_ = *qid;  // listen-style opens can morph the file's identity
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Vnode>> MntVnode::Create(const std::string& name, uint32_t perm,
+                                                uint8_t mode, const std::string& user) {
+  // Create operates on a clone so this vnode keeps naming the directory.
+  uint32_t newfid = client_->AllocFid();
+  auto cloned = client_->CloneWalk(fid_, newfid, {});
+  if (!cloned.ok()) {
+    return cloned.error();
+  }
+  auto qid = client_->Create(newfid, name, perm, mode);
+  if (!qid.ok()) {
+    (void)client_->Clunk(newfid);
+    return qid.error();
+  }
+  return std::shared_ptr<Vnode>(std::make_shared<MntVnode>(client_, newfid, *qid));
+}
+
+Result<Bytes> MntVnode::Read(uint64_t offset, uint32_t count) {
+  return client_->Read(fid_, offset, count);
+}
+
+Result<uint32_t> MntVnode::Write(uint64_t offset, const Bytes& data) {
+  // The RPC layer caps a single write at kMaxData; chunk larger ones.
+  uint32_t written = 0;
+  while (written < data.size()) {
+    size_t chunk = std::min<size_t>(kMaxData, data.size() - written);
+    Bytes part(data.begin() + written, data.begin() + written + static_cast<long>(chunk));
+    auto n = client_->Write(fid_, offset + written, part);
+    if (!n.ok()) {
+      if (written > 0) {
+        return written;
+      }
+      return n.error();
+    }
+    written += *n;
+    if (*n < chunk) {
+      break;
+    }
+  }
+  return written;
+}
+
+Status MntVnode::Remove() {
+  removed_ = true;  // Tremove clunks the fid even on failure
+  return client_->Remove(fid_);
+}
+
+Status MntVnode::Wstat(const Dir& d) { return client_->Wstat(fid_, d); }
+
+}  // namespace plan9

@@ -1,0 +1,49 @@
+// The mount driver (§2.1).
+//
+// "A kernel resident file server called the mount driver converts the
+// procedural version of 9P into RPCs."  MntVnode implements the Vnode
+// interface by issuing 9P messages through a NinepClient; mounting one into
+// a Namespace makes a remote tree indistinguishable from a local one.
+#ifndef SRC_NS_MNT_H_
+#define SRC_NS_MNT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/ninep/client.h"
+#include "src/ninep/server.h"
+
+namespace plan9 {
+
+// Attach to the remote server: session + attach; returns the root vnode.
+Result<std::shared_ptr<Vnode>> MntAttach(std::shared_ptr<NinepClient> client,
+                                         const std::string& uname,
+                                         const std::string& aname);
+
+class MntVnode : public Vnode {
+ public:
+  MntVnode(std::shared_ptr<NinepClient> client, uint32_t fid, Qid qid)
+      : client_(std::move(client)), fid_(fid), qid_(qid) {}
+  ~MntVnode() override;
+
+  Qid qid() override { return qid_; }
+  Result<Dir> Stat() override;
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override;
+  Status Open(uint8_t mode, const std::string& user) override;
+  Result<std::shared_ptr<Vnode>> Create(const std::string& name, uint32_t perm,
+                                        uint8_t mode, const std::string& user) override;
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override;
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override;
+  Status Remove() override;
+  Status Wstat(const Dir& d) override;
+
+ private:
+  std::shared_ptr<NinepClient> client_;
+  uint32_t fid_;
+  Qid qid_;
+  bool removed_ = false;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_NS_MNT_H_

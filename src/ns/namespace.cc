@@ -1,0 +1,315 @@
+#include "src/ns/namespace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/strings.h"
+#include "src/ns/mnt.h"
+
+namespace plan9 {
+
+Namespace::Namespace(Vfs* root_fs) : root_fs_(root_fs) {
+  auto root = root_fs_->Attach("sys", "");
+  // A root that cannot attach is a programming error; fail loudly.
+  root_ = Chan::Make(root.take(), next_dev_id_++, "/");
+}
+
+ChanPtr Namespace::TranslateLocked(ChanPtr c) {
+  auto it = mounts_.find(MountKey{c->dev_id, c->qid.path});
+  if (it == mounts_.end()) {
+    c->union_stack.clear();
+    return c;
+  }
+  // Keep the original identity (so the chan remains the mount-table key) but
+  // attach the union stack for walking and reading.
+  c->union_stack.clear();
+  for (auto& entry : it->second) {
+    c->union_stack.push_back(entry.to);
+  }
+  return c;
+}
+
+Result<ChanPtr> Namespace::WalkOne(const ChanPtr& from, const std::string& elem) {
+  if (!from->union_stack.empty()) {
+    Error last_err{std::string(kErrNotExist)};
+    for (auto& element : from->union_stack) {
+      auto walked = element->node->Walk(elem);
+      if (walked.ok()) {
+        auto c = Chan::Make(walked.take(), element->dev_id, from->path + "/" + elem);
+        return c;
+      }
+      last_err = walked.error();
+    }
+    return last_err;
+  }
+  auto walked = from->node->Walk(elem);
+  if (!walked.ok()) {
+    return walked.error();
+  }
+  return Chan::Make(walked.take(), from->dev_id, from->path + "/" + elem);
+}
+
+Result<ChanPtr> Namespace::ResolveLocked(const std::string& path) {
+  std::string clean = CleanName(path);
+  if (clean.empty() || clean[0] != '/') {
+    return Error(StrFormat("not an absolute path: %s", path.c_str()));
+  }
+  ChanPtr cur = TranslateLocked(root_->CloneUnopened());
+  for (auto& elem : GetFields(clean, "/")) {
+    auto next = WalkOne(cur, elem);
+    if (!next.ok()) {
+      return Error(StrFormat("%s: '%s' %s", path.c_str(), elem.c_str(),
+                             next.error().message().c_str()));
+    }
+    cur = TranslateLocked(next.take());
+  }
+  return cur;
+}
+
+Result<ChanPtr> Namespace::Resolve(const std::string& path) {
+  QLockGuard guard(lock_);
+  return ResolveLocked(path);
+}
+
+Result<ChanPtr> Namespace::ResolveParent(const std::string& path, std::string* last) {
+  std::string clean = CleanName(path);
+  auto parts = GetFields(clean, "/");
+  if (parts.empty()) {
+    return Error(kErrBadArg);
+  }
+  *last = parts.back();
+  parts.pop_back();
+  QLockGuard guard(lock_);
+  return ResolveLocked("/" + Join(parts, "/"));
+}
+
+Status Namespace::Bind(const std::string& newpath, const std::string& oldpath,
+                       int flags) {
+  QLockGuard guard(lock_);
+  auto from = ResolveLocked(newpath);
+  if (!from.ok()) {
+    return from.error();
+  }
+  auto onto = ResolveLocked(oldpath);
+  if (!onto.ok()) {
+    return onto.error();
+  }
+  MountKey key{(*onto)->dev_id, (*onto)->qid.path};
+  auto& stack = mounts_[key];
+  if (stack.empty() && (flags & 3) != kMRepl) {
+    // First union mount: the mounted-on directory itself stays visible.
+    stack.push_back(MountEntry{(*onto)->CloneUnopened(), /*create=*/true});
+  }
+  MountEntry entry{(*from)->CloneUnopened(), (flags & kMCreate) != 0};
+  switch (flags & 3) {
+    case kMRepl:
+      stack.clear();
+      entry.create = true;
+      stack.push_back(std::move(entry));
+      break;
+    case kMBefore:
+      stack.insert(stack.begin(), std::move(entry));
+      break;
+    case kMAfter:
+      stack.push_back(std::move(entry));
+      break;
+    default:
+      return Error(kErrBadArg);
+  }
+  return Status::Ok();
+}
+
+Status Namespace::MountVfs(Vfs* fs, const std::string& oldpath, int flags,
+                           const std::string& aname) {
+  auto root = fs->Attach("sys", aname);
+  if (!root.ok()) {
+    return root.error();
+  }
+  QLockGuard guard(lock_);
+  auto onto = ResolveLocked(oldpath);
+  if (!onto.ok()) {
+    return onto.error();
+  }
+  ChanPtr from = Chan::Make(root.take(), next_dev_id_++, oldpath);
+  MountKey key{(*onto)->dev_id, (*onto)->qid.path};
+  auto& stack = mounts_[key];
+  if (stack.empty() && (flags & 3) != kMRepl) {
+    stack.push_back(MountEntry{(*onto)->CloneUnopened(), true});
+  }
+  MountEntry entry{from, (flags & kMCreate) != 0 || (flags & 3) == kMRepl};
+  switch (flags & 3) {
+    case kMRepl:
+      stack.clear();
+      stack.push_back(std::move(entry));
+      break;
+    case kMBefore:
+      stack.insert(stack.begin(), std::move(entry));
+      break;
+    case kMAfter:
+      stack.push_back(std::move(entry));
+      break;
+    default:
+      return Error(kErrBadArg);
+  }
+  return Status::Ok();
+}
+
+Status Namespace::MountClient(std::shared_ptr<NinepClient> client,
+                              const std::string& oldpath, int flags,
+                              const std::string& aname, const std::string& uname) {
+  auto root = MntAttach(client, uname, aname);
+  if (!root.ok()) {
+    return root.error();
+  }
+  QLockGuard guard(lock_);
+  auto onto = ResolveLocked(oldpath);
+  if (!onto.ok()) {
+    return onto.error();
+  }
+  sessions_.push_back(client);
+  ChanPtr from = Chan::Make(root.take(), next_dev_id_++, oldpath);
+  MountKey key{(*onto)->dev_id, (*onto)->qid.path};
+  auto& stack = mounts_[key];
+  if (stack.empty() && (flags & 3) != kMRepl) {
+    stack.push_back(MountEntry{(*onto)->CloneUnopened(), true});
+  }
+  MountEntry entry{from, (flags & kMCreate) != 0 || (flags & 3) == kMRepl};
+  switch (flags & 3) {
+    case kMRepl:
+      stack.clear();
+      stack.push_back(std::move(entry));
+      break;
+    case kMBefore:
+      stack.insert(stack.begin(), std::move(entry));
+      break;
+    case kMAfter:
+      stack.push_back(std::move(entry));
+      break;
+    default:
+      return Error(kErrBadArg);
+  }
+  return Status::Ok();
+}
+
+Status Namespace::Unmount(const std::string& oldpath) {
+  QLockGuard guard(lock_);
+  // Resolve without translation effects on the final element: we want the
+  // mount key, which ResolveLocked preserves (original identity).
+  auto onto = ResolveLocked(oldpath);
+  if (!onto.ok()) {
+    return onto.error();
+  }
+  MountKey key{(*onto)->dev_id, (*onto)->qid.path};
+  if (mounts_.erase(key) == 0) {
+    return Error("not mounted");
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<Namespace> Namespace::Fork() {
+  QLockGuard guard(lock_);
+  auto copy = std::make_shared<Namespace>(root_fs_);
+  copy->mounts_ = mounts_;
+  copy->sessions_ = sessions_;
+  copy->next_dev_id_ = next_dev_id_;
+  // Note: dev_ids are assigned from the same sequence, and chans are shared
+  // (immutable once in the table), so keys remain consistent.
+  copy->root_ = root_;
+  return copy;
+}
+
+Result<ChanPtr> Namespace::Create(const std::string& path, uint32_t perm, uint8_t mode,
+                                  const std::string& user) {
+  std::string name;
+  auto parent = ResolveParent(path, &name);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  QLockGuard guard(lock_);
+  std::vector<ChanPtr> candidates;
+  if (!(*parent)->union_stack.empty()) {
+    auto it = mounts_.find(MountKey{(*parent)->dev_id, (*parent)->qid.path});
+    if (it != mounts_.end()) {
+      for (auto& entry : it->second) {
+        if (entry.create) {
+          candidates.push_back(entry.to);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      return Error(kErrPerm);
+    }
+  } else {
+    candidates.push_back(*parent);
+  }
+  Error last{std::string(kErrPerm)};
+  for (auto& cand : candidates) {
+    auto made = cand->node->Create(name, perm, mode, user);
+    if (made.ok()) {
+      auto c = Chan::Make(made.take(), cand->dev_id, CleanName(path));
+      c->open = true;
+      c->mode = mode;
+      return c;
+    }
+    last = made.error();
+  }
+  return last;
+}
+
+size_t Namespace::MountCount() {
+  QLockGuard guard(lock_);
+  return mounts_.size();
+}
+
+Result<std::vector<Dir>> ReadDirChan(const ChanPtr& chan) {
+  std::vector<ChanPtr> sources;
+  if (!chan->union_stack.empty()) {
+    sources = chan->union_stack;
+  } else {
+    sources.push_back(chan);
+  }
+  std::vector<Dir> out;
+  std::set<std::string> seen;
+  for (auto& src : sources) {
+    if (!src->qid.IsDir()) {
+      continue;
+    }
+    // Read through a fresh opened handle: remote (mount-driver) fids must
+    // be opened before reading, and we must not disturb src's own state.
+    std::shared_ptr<Vnode> reader = src->node;
+    bool opened = false;
+    if (auto clone = src->node->Walk("."); clone.ok()) {
+      reader = clone.take();
+      opened = reader->Open(kORead, "none").ok();
+    }
+    uint64_t offset = 0;
+    for (;;) {
+      auto chunk = reader->Read(offset, kDirLen * 32);
+      if (!chunk.ok()) {
+        return chunk.error();
+      }
+      if (chunk->empty()) {
+        break;
+      }
+      offset += chunk->size();
+      ByteReader r(*chunk);
+      while (r.remaining() >= kDirLen) {
+        auto d = Dir::Unpack(&r);
+        if (!d.ok()) {
+          return d.error();
+        }
+        // "Local entries supersede remote ones of the same name" — first
+        // union element wins.
+        if (seen.insert(d->name).second) {
+          out.push_back(d.take());
+        }
+      }
+    }
+    if (opened) {
+      reader->Close(kORead);
+    }
+  }
+  return out;
+}
+
+}  // namespace plan9

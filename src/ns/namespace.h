@@ -1,0 +1,105 @@
+// Per-process name spaces (§2.1, §6).
+//
+// "Each process assembles a view of the system by building a name space
+// connecting its resources."  A Namespace is a root plus a mount table;
+// bind and mount splice trees (local Vfs instances or remote servers via
+// the mount driver) onto names, with union-directory semantics:
+//
+//   "The import command mounts the remote /net directory after (the -a
+//    option) the existing contents of the local /net directory.  The
+//    directory contains the union of the local and remote contents of
+//    /net.  Local entries supersede remote ones of the same name."
+#ifndef SRC_NS_NAMESPACE_H_
+#define SRC_NS_NAMESPACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ninep/client.h"
+#include "src/ninep/ramfs.h"
+#include "src/ns/chan.h"
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+// Mount/bind flags, as in Plan 9's bind(2).
+inline constexpr int kMRepl = 0;    // replace the mounted-on directory
+inline constexpr int kMBefore = 1;  // union, new tree searched first
+inline constexpr int kMAfter = 2;   // union, new tree searched last
+inline constexpr int kMCreate = 4;  // creates in this union element
+
+class Namespace {
+ public:
+  // The namespace root is served by `root_fs` (conventionally a RamFs with
+  // /net /dev /srv /lib pre-made).  Does not take ownership.
+  explicit Namespace(Vfs* root_fs);
+
+  // Resolve an absolute path to a chan (mount translation + union walk
+  // applied at every step).
+  Result<ChanPtr> Resolve(const std::string& path);
+
+  // Resolve the directory containing `path`, returning the final element
+  // name via `last` (for create/remove).
+  Result<ChanPtr> ResolveParent(const std::string& path, std::string* last);
+
+  // bind(new, old, flags): make `newpath`'s tree visible at `oldpath`.
+  Status Bind(const std::string& newpath, const std::string& oldpath, int flags);
+
+  // Mount a local Vfs (kernel device driver or in-process server) at old.
+  Status MountVfs(Vfs* fs, const std::string& oldpath, int flags,
+                  const std::string& aname = "");
+
+  // Mount a remote server via the mount driver (§2.1).
+  Status MountClient(std::shared_ptr<NinepClient> client, const std::string& oldpath,
+                     int flags, const std::string& aname = "",
+                     const std::string& uname = "none");
+
+  // Remove every mount at oldpath.
+  Status Unmount(const std::string& oldpath);
+
+  // Deep copy (rfork RFNAMEG-style: child namespaces evolve independently).
+  std::shared_ptr<Namespace> Fork();
+
+  // Create a file/dir at path inside the resolved (possibly union) parent,
+  // honouring kMCreate.
+  Result<ChanPtr> Create(const std::string& path, uint32_t perm, uint8_t mode,
+                         const std::string& user);
+
+  size_t MountCount();
+
+ private:
+  struct MountEntry {
+    ChanPtr to;
+    bool create = false;
+  };
+  struct MountKey {
+    uint64_t dev_id;
+    uint32_t qid_path;
+    bool operator<(const MountKey& o) const {
+      return dev_id != o.dev_id ? dev_id < o.dev_id : qid_path < o.qid_path;
+    }
+  };
+
+  // If c names a mount point, return it with union_stack populated.
+  ChanPtr TranslateLocked(ChanPtr c);
+  Result<ChanPtr> WalkOne(const ChanPtr& from, const std::string& elem);
+  Result<ChanPtr> ResolveLocked(const std::string& path);
+
+  QLock lock_;
+  Vfs* root_fs_;
+  ChanPtr root_;
+  std::map<MountKey, std::vector<MountEntry>> mounts_;
+  // Remote sessions kept alive by the namespace that mounted them.
+  std::vector<std::shared_ptr<NinepClient>> sessions_;
+  uint64_t next_dev_id_ = 1;
+};
+
+// Read a whole directory through a chan, merging union elements: first
+// occurrence of a name wins.
+Result<std::vector<Dir>> ReadDirChan(const ChanPtr& chan);
+
+}  // namespace plan9
+
+#endif  // SRC_NS_NAMESPACE_H_

@@ -1,0 +1,99 @@
+#include "src/sim/wire.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+
+// Shared state outlives the Wire so in-flight timer callbacks stay valid.
+struct Wire::Shared {
+  QLock lock;
+  Direction dirs[2];  // dirs[kA] = A->B, dirs[kB] = B->A
+  bool cut = false;
+};
+
+Wire::Wire(LinkParams a_to_b, LinkParams b_to_a) : shared_(std::make_shared<Shared>()) {
+  shared_->dirs[kA].params = a_to_b;
+  shared_->dirs[kA].rng = Rng(a_to_b.seed);
+  shared_->dirs[kB].params = b_to_a;
+  shared_->dirs[kB].rng = Rng(b_to_a.seed ^ 0x517cc1b727220a95ULL);
+  auto now = TimerWheel::Clock::now();
+  shared_->dirs[kA].busy_until = now;
+  shared_->dirs[kB].busy_until = now;
+}
+
+Wire::~Wire() { Cut(); }
+
+void Wire::Attach(End end, RecvFn fn) {
+  QLockGuard guard(shared_->lock);
+  // The callback of end X receives traffic from the *other* end, i.e. the
+  // direction indexed by the sender.
+  shared_->dirs[end == kA ? kB : kA].recv = std::move(fn);
+}
+
+void Wire::Detach(End end) { Attach(end, nullptr); }
+
+Status Wire::Send(End from, Bytes frame) {
+  auto shared = shared_;
+  TimerWheel::Clock::duration delay;
+  {
+    QLockGuard guard(shared->lock);
+    Direction& dir = shared->dirs[from];
+    if (shared->cut) {
+      return Error(kErrHungup);
+    }
+    if (frame.size() > dir.params.mtu) {
+      dir.stats.send_errors++;
+      return Error(StrFormat("frame too large for medium (%zu > %zu)", frame.size(),
+                             dir.params.mtu));
+    }
+    dir.stats.frames_sent++;
+    dir.stats.bytes_sent += frame.size();
+    if (dir.params.loss_rate > 0 && dir.rng.Chance(dir.params.loss_rate)) {
+      dir.stats.frames_dropped++;
+      return Status::Ok();  // silently lost on the wire
+    }
+    auto now = TimerWheel::Clock::now();
+    // Serialization: the line transmits one frame at a time.
+    TimerWheel::Clock::duration tx_time{0};
+    if (dir.params.bandwidth_bps > 0) {
+      tx_time = std::chrono::nanoseconds(frame.size() * 8ULL * 1'000'000'000ULL /
+                                         dir.params.bandwidth_bps);
+    }
+    auto start = std::max(now, dir.busy_until);
+    dir.busy_until = start + tx_time;
+    delay = (dir.busy_until + dir.params.latency) - now;
+  }
+  TimerWheel::Default().Schedule(delay, [shared, from, frame = std::move(frame)]() mutable {
+    RecvFn recv;
+    {
+      QLockGuard guard(shared->lock);
+      if (shared->cut) {
+        return;
+      }
+      Direction& dir = shared->dirs[from];
+      dir.stats.frames_delivered++;
+      dir.stats.bytes_delivered += frame.size();
+      recv = dir.recv;
+    }
+    if (recv) {
+      recv(std::move(frame));
+    }
+  });
+  return Status::Ok();
+}
+
+MediaStats Wire::stats(End from) {
+  QLockGuard guard(shared_->lock);
+  return shared_->dirs[from].stats;
+}
+
+void Wire::Cut() {
+  QLockGuard guard(shared_->lock);
+  shared_->cut = true;
+  shared_->dirs[kA].recv = nullptr;
+  shared_->dirs[kB].recv = nullptr;
+}
+
+}  // namespace plan9

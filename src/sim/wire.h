@@ -1,0 +1,61 @@
+// Wire — a full-duplex point-to-point framed link.
+//
+// Models the paper's point-to-point media (Cyclone fiber between file and
+// CPU servers, serial lines, ISDN): each direction serializes frames at the
+// configured bandwidth, delays them by the propagation latency, and may drop
+// them.  Delivery callbacks run on the shared timer kproc and must not block.
+#ifndef SRC_SIM_WIRE_H_
+#define SRC_SIM_WIRE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/base/bytes.h"
+#include "src/base/rand.h"
+#include "src/base/result.h"
+#include "src/sim/medium.h"
+#include "src/task/qlock.h"
+#include "src/task/timers.h"
+
+namespace plan9 {
+
+class Wire {
+ public:
+  using RecvFn = std::function<void(Bytes frame)>;
+  enum End { kA = 0, kB = 1 };
+
+  explicit Wire(LinkParams params) : Wire(params, params) {}
+  Wire(LinkParams a_to_b, LinkParams b_to_a);
+  ~Wire();
+
+  // Install the receive callback for one end.  Frames sent from the other
+  // end are delivered to it after serialization + latency.
+  void Attach(End end, RecvFn fn);
+  void Detach(End end);
+
+  // Transmit a frame from `from`; fails only on oversize.  Loss is silent
+  // (the frame is counted dropped, never delivered) — real media don't
+  // report collisions to software either.
+  Status Send(End from, Bytes frame);
+
+  MediaStats stats(End from);
+
+  // Sever the link: nothing further is delivered in either direction.
+  void Cut();
+
+ private:
+  struct Direction {
+    LinkParams params;
+    Rng rng;
+    TimerWheel::Clock::time_point busy_until;
+    MediaStats stats;
+    RecvFn recv;  // callback of the *receiving* end
+  };
+
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_SIM_WIRE_H_

@@ -1,0 +1,81 @@
+// Blocks — the unit of information in a stream (§2.4).
+//
+// "Information is represented by linked lists of kernel structures called
+// blocks.  Each block contains a type, some state flags, and pointers to an
+// optional buffer.  Block buffers can hold either data or control
+// information, i.e., directives to the processing modules."
+#ifndef SRC_STREAM_BLOCK_H_
+#define SRC_STREAM_BLOCK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/base/bytes.h"
+
+namespace plan9 {
+
+enum class BlockType : uint8_t {
+  kData = 0,     // user or protocol payload
+  kControl = 1,  // ASCII directive to processing modules ("push ...", module-specific)
+  kHangup = 2,   // sent up the stream from the device end on disconnect
+};
+
+struct Block {
+  BlockType type = BlockType::kData;
+  // End-of-message marker: "The last block written is flagged with a
+  // delimiter to alert downstream modules that care about write boundaries."
+  bool delim = false;
+  Bytes data;
+  // Read cursor: bytes [rp, data.size()) are live.  Kept in the block so a
+  // partially-consumed block can be pushed back on a queue.
+  size_t rp = 0;
+
+  size_t size() const { return data.size() - rp; }
+  const uint8_t* payload() const { return data.data() + rp; }
+  std::string Text() const {
+    return std::string(reinterpret_cast<const char*>(payload()), size());
+  }
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+inline BlockPtr MakeDataBlock(Bytes data, bool delim = false) {
+  auto b = std::make_unique<Block>();
+  b->type = BlockType::kData;
+  b->data = std::move(data);
+  b->delim = delim;
+  return b;
+}
+
+inline BlockPtr MakeDataBlock(std::string_view text, bool delim = false) {
+  return MakeDataBlock(ToBytes(text), delim);
+}
+
+inline BlockPtr MakeControlBlock(std::string_view text) {
+  auto b = std::make_unique<Block>();
+  b->type = BlockType::kControl;
+  b->data = ToBytes(text);
+  b->delim = true;
+  return b;
+}
+
+inline BlockPtr MakeHangupBlock() {
+  auto b = std::make_unique<Block>();
+  b->type = BlockType::kHangup;
+  b->delim = true;
+  return b;
+}
+
+inline BlockPtr CloneBlock(const Block& b) {
+  auto copy = std::make_unique<Block>();
+  copy->type = b.type;
+  copy->delim = b.delim;
+  copy->data = Bytes(b.payload(), b.payload() + b.size());
+  return copy;
+}
+
+}  // namespace plan9
+
+#endif  // SRC_STREAM_BLOCK_H_

@@ -1,0 +1,124 @@
+#include "src/stream/queue.h"
+
+namespace plan9 {
+
+Status Queue::Put(BlockPtr b) {
+  {
+    QLockGuard guard(lock_);
+    can_write_.Sleep(guard, [&] { return closed_ || bytes_ <= limit_; });
+    if (closed_) {
+      return Error(kErrHungup);
+    }
+    bytes_ += b->size();
+    blocks_.push_back(std::move(b));
+  }
+  can_read_.Wakeup();
+  if (kick_) {
+    kick_();
+  }
+  return Status::Ok();
+}
+
+Status Queue::PutNoBlock(BlockPtr b) {
+  {
+    QLockGuard guard(lock_);
+    if (closed_) {
+      return Error(kErrHungup);
+    }
+    bytes_ += b->size();
+    blocks_.push_back(std::move(b));
+  }
+  can_read_.Wakeup();
+  if (kick_) {
+    kick_();
+  }
+  return Status::Ok();
+}
+
+void Queue::PutBack(BlockPtr b) {
+  {
+    QLockGuard guard(lock_);
+    bytes_ += b->size();
+    blocks_.push_front(std::move(b));
+  }
+  can_read_.Wakeup();
+}
+
+BlockPtr Queue::Get() {
+  BlockPtr b;
+  {
+    QLockGuard guard(lock_);
+    can_read_.Sleep(guard, [&] { return closed_ || !blocks_.empty(); });
+    if (blocks_.empty()) {
+      return nullptr;  // closed and drained
+    }
+    b = std::move(blocks_.front());
+    blocks_.pop_front();
+    bytes_ -= b->size();
+  }
+  can_write_.Wakeup();
+  return b;
+}
+
+BlockPtr Queue::GetNoWait() {
+  BlockPtr b;
+  {
+    QLockGuard guard(lock_);
+    if (blocks_.empty()) {
+      return nullptr;
+    }
+    b = std::move(blocks_.front());
+    blocks_.pop_front();
+    bytes_ -= b->size();
+  }
+  can_write_.Wakeup();
+  return b;
+}
+
+bool Queue::WaitNonEmpty() {
+  QLockGuard guard(lock_);
+  can_read_.Sleep(guard, [&] { return closed_ || !blocks_.empty(); });
+  return !blocks_.empty();
+}
+
+void Queue::Close() {
+  {
+    QLockGuard guard(lock_);
+    closed_ = true;
+  }
+  can_read_.Wakeup();
+  can_write_.Wakeup();
+}
+
+void Queue::CloseAndFlush() {
+  {
+    QLockGuard guard(lock_);
+    closed_ = true;
+    blocks_.clear();
+    bytes_ = 0;
+  }
+  can_read_.Wakeup();
+  can_write_.Wakeup();
+}
+
+bool Queue::closed() {
+  QLockGuard guard(lock_);
+  return closed_;
+}
+
+size_t Queue::byte_count() {
+  QLockGuard guard(lock_);
+  return bytes_;
+}
+
+size_t Queue::block_count() {
+  QLockGuard guard(lock_);
+  return blocks_.size();
+}
+
+bool Queue::HasRoom() {
+  QLockGuard guard(lock_);
+  return !closed_ && bytes_ <= limit_;
+}
+
+}  // namespace plan9

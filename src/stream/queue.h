@@ -1,0 +1,72 @@
+// Flow-controlled block queues (§2.4).
+//
+// "An instance of a processing module is represented by a pair of queues,
+// one for each direction."  Queues point at put procedures and buffer blocks
+// travelling along the stream.  Writers block when a queue exceeds its limit
+// (flow control); readers sleep until data or close.  A queue may have a
+// `kick` function, called after a put, which devices use to start output.
+#ifndef SRC_STREAM_QUEUE_H_
+#define SRC_STREAM_QUEUE_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/base/result.h"
+#include "src/stream/block.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class Queue {
+ public:
+  static constexpr size_t kDefaultLimit = 128 * 1024;
+
+  explicit Queue(size_t limit = kDefaultLimit, std::function<void()> kick = nullptr)
+      : limit_(limit), kick_(std::move(kick)) {}
+
+  // Enqueue, sleeping while the queue is over its limit.  Fails if closed.
+  Status Put(BlockPtr b);
+
+  // Enqueue without flow control (device input paths must not block).
+  Status PutNoBlock(BlockPtr b);
+
+  // Return a partially consumed block to the head of the queue.
+  void PutBack(BlockPtr b);
+
+  // Dequeue; blocks until a block is available.  Returns nullptr once the
+  // queue is closed and drained.
+  BlockPtr Get();
+
+  // Non-blocking dequeue; nullptr if empty.
+  BlockPtr GetNoWait();
+
+  // Block until at least one block is queued or the queue is closed.
+  // Returns true if data is available.
+  bool WaitNonEmpty();
+
+  // No more puts; readers drain whatever is queued, then see EOF.
+  void Close();
+  // Close and discard queued blocks.
+  void CloseAndFlush();
+
+  bool closed();
+  size_t byte_count();
+  size_t block_count();
+  // True when below the flow-control limit (writers would not block).
+  bool HasRoom();
+
+ private:
+  QLock lock_;
+  Rendez can_read_;
+  Rendez can_write_;
+  std::deque<BlockPtr> blocks_;
+  size_t bytes_ = 0;
+  size_t limit_;
+  bool closed_ = false;
+  std::function<void()> kick_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_STREAM_QUEUE_H_

@@ -1,0 +1,212 @@
+#include "src/svc/exportfs.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/dial/dial.h"
+#include "src/ninep/client.h"
+#include "src/ns/namespace.h"
+#include "src/svc/listen.h"
+
+namespace plan9 {
+namespace {
+
+// Fold a (dev_id, qid) pair into an export-local qid path, preserving the
+// directory bit.  Different servers may reuse qid paths; the relay must
+// present a single consistent space.
+uint32_t FoldQid(uint64_t dev_id, uint32_t qid_path) {
+  uint64_t h = dev_id * 0x9e3779b97f4a7c15ULL ^ (qid_path & ~kQidDirBit);
+  h ^= h >> 33;
+  return (static_cast<uint32_t>(h) & ~kQidDirBit) | (qid_path & kQidDirBit);
+}
+
+// A vnode naming a path inside the exported name space.  Walks re-resolve
+// through the Namespace so mount points and unions behave exactly as they
+// do locally.
+class ExportVnode : public Vnode {
+ public:
+  ExportVnode(std::shared_ptr<Proc> proc, std::string root, std::string path,
+              ChanPtr chan)
+      : proc_(std::move(proc)),
+        root_(std::move(root)),
+        path_(std::move(path)),
+        chan_(std::move(chan)) {}
+
+  ~ExportVnode() override {
+    if (opened_) {
+      chan_->node->Close(open_mode_);
+    }
+  }
+
+  Qid qid() override {
+    Qid q = chan_->qid;
+    q.path = FoldQid(chan_->dev_id, q.path);
+    return q;
+  }
+
+  Result<Dir> Stat() override {
+    auto d = chan_->node->Stat();
+    if (d.ok()) {
+      d->qid.path = FoldQid(chan_->dev_id, d->qid.path);
+    }
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    std::string target = name == ".."
+                             ? CleanName(path_ + "/..")
+                             : CleanName(path_ + "/" + name);
+    // ".." never escapes the exported root.
+    if (!HasPrefix(target + "/", root_ == "/" ? "/" : root_ + "/")) {
+      target = root_;
+    }
+    auto chan = proc_->ns()->Resolve(target);
+    if (!chan.ok()) {
+      return chan.error();
+    }
+    return std::shared_ptr<Vnode>(
+        std::make_shared<ExportVnode>(proc_, root_, target, *chan));
+  }
+
+  Status Open(uint8_t mode, const std::string& user) override {
+    if (chan_->IsDir() && !chan_->union_stack.empty()) {
+      // Union directory: materialize merged entries now (same rule as the
+      // local fd layer).
+      auto entries = ReadDirChan(chan_);
+      if (!entries.ok()) {
+        return entries.error();
+      }
+      dir_image_ = std::make_shared<Bytes>();
+      for (auto& d : *entries) {
+        d.qid.path = FoldQid(chan_->dev_id, d.qid.path);
+        d.Pack(dir_image_.get());
+      }
+      return Status::Ok();
+    }
+    P9_RETURN_IF_ERROR(chan_->node->Open(mode, user));
+    opened_ = true;
+    open_mode_ = mode;
+    return Status::Ok();
+  }
+
+  Result<std::shared_ptr<Vnode>> Create(const std::string& name, uint32_t perm,
+                                        uint8_t mode, const std::string& user) override {
+    auto chan = proc_->ns()->Create(CleanName(path_ + "/" + name), perm, mode, user);
+    if (!chan.ok()) {
+      return chan.error();
+    }
+    auto node = std::make_shared<ExportVnode>(proc_, root_,
+                                              CleanName(path_ + "/" + name), *chan);
+    node->opened_ = true;
+    node->open_mode_ = mode;
+    return std::shared_ptr<Vnode>(node);
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    if (dir_image_ != nullptr) {
+      if (offset >= dir_image_->size()) {
+        return Bytes{};
+      }
+      size_t n = std::min<size_t>(count, dir_image_->size() - offset);
+      return Bytes(dir_image_->begin() + static_cast<long>(offset),
+                   dir_image_->begin() + static_cast<long>(offset + n));
+    }
+    return chan_->node->Read(offset, count);
+  }
+
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
+    return chan_->node->Write(offset, data);
+  }
+
+  Status Remove() override { return chan_->node->Remove(); }
+  Status Wstat(const Dir& d) override { return chan_->node->Wstat(d); }
+
+  void Close(uint8_t mode) override {
+    if (opened_) {
+      chan_->node->Close(mode);
+      opened_ = false;
+    }
+  }
+
+ private:
+  std::shared_ptr<Proc> proc_;
+  std::string root_;
+  std::string path_;
+  ChanPtr chan_;
+  bool opened_ = false;
+  uint8_t open_mode_ = 0;
+  std::shared_ptr<Bytes> dir_image_;
+};
+
+}  // namespace
+
+ExportVfs::ExportVfs(std::shared_ptr<Proc> proc, std::string root_path)
+    : proc_(std::move(proc)), root_path_(CleanName(root_path)) {}
+
+Result<std::shared_ptr<Vnode>> ExportVfs::Attach(const std::string& uname,
+                                                 const std::string& aname) {
+  // aname may narrow the export below root_path_.
+  std::string path = aname.empty() ? root_path_ : CleanName(root_path_ + "/" + aname);
+  auto chan = proc_->ns()->Resolve(path);
+  if (!chan.ok()) {
+    return chan.error();
+  }
+  return std::shared_ptr<Vnode>(std::make_shared<ExportVnode>(proc_, path, path, *chan));
+}
+
+Result<std::unique_ptr<Service>> StartExportfs(std::shared_ptr<Proc> proc,
+                                               const std::string& addr) {
+  return Serve(
+      proc, addr,
+      [](Proc* p, int dfd, const std::string& ldir) {
+        // The transport preserves delimiters iff the network does.
+        bool delimited = DialPathDelimited(ldir);
+        auto transport = p->TransportForFd(dfd, delimited);
+        if (transport == nullptr) {
+          (void)p->Close(dfd);
+          return;
+        }
+        // Initial protocol: first message = root of the exported tree.
+        auto root = transport->ReadMsg();
+        if (!root.ok() || root->empty()) {
+          (void)p->Close(dfd);
+          return;
+        }
+        // exportfs serves in the caller's name-space context; a private
+        // proc sharing the node's namespace stands in for "the profile of
+        // the user requesting the service".
+        auto serve_proc = std::make_shared<Proc>(p->ns_ref(), p->user());
+        ExportVfs vfs(serve_proc, ToString(*root));
+        NinepServer server(&vfs, std::move(transport), "exportfs");
+        server.Wait();  // until the importer hangs up
+        (void)p->Close(dfd);
+      },
+      "exportfs");
+}
+
+Status Import(Proc* proc, const std::string& dest, const std::string& remote_tree,
+              const std::string& local_mount, int flags) {
+  // Convenience beyond the original tool: materialize a missing mount point
+  // (the common /n/<machine> case).
+  if (!proc->ns()->Resolve(local_mount).ok()) {
+    auto made = proc->ns()->Create(local_mount, kDmDir | 0775, kORead, proc->user());
+    if (!made.ok()) {
+      return made.error();
+    }
+  }
+  std::string dir;
+  P9_ASSIGN_OR_RETURN(int dfd, Dial(proc, dest, &dir));
+  bool delimited = DialPathDelimited(dir);
+  auto transport = proc->TransportForFd(dfd, delimited);
+  if (transport == nullptr) {
+    return Error(kErrBadFd);
+  }
+  // Initial protocol: name the tree we want.
+  P9_RETURN_IF_ERROR(transport->WriteMsg(ToBytes(remote_tree)));
+  auto client = std::make_shared<NinepClient>(std::move(transport));
+  Status mounted = proc->MountClient(client, local_mount, flags);
+  // The data fd stays open underneath the transport; the fd table entry is
+  // no longer needed ("the import command ... exits").
+  return mounted;
+}
+
+}  // namespace plan9

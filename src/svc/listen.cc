@@ -1,0 +1,79 @@
+#include "src/svc/listen.h"
+
+#include "src/base/logging.h"
+#include "src/dial/dial.h"
+
+namespace plan9 {
+
+Result<std::unique_ptr<Service>> Serve(std::shared_ptr<Proc> proc,
+                                       const std::string& addr, CallHandler handler,
+                                       const std::string& name) {
+  std::string adir;
+  auto afd = Announce(proc.get(), addr, &adir);
+  if (!afd.ok()) {
+    return afd.error();
+  }
+  auto svc = std::make_unique<Service>(name);
+  Service* svc_ptr = svc.get();
+  svc->OnStop([proc, afd = *afd] { (void)proc->Close(afd); });
+  svc->Spawn([proc, adir, handler, svc_ptr] {
+    for (;;) {
+      // "listen for a call"
+      std::string ldir;
+      auto lcfd = Listen(proc.get(), adir, &ldir);
+      if (!lcfd.ok()) {
+        return;  // announcement closed
+      }
+      // "fork a process" per call.
+      svc_ptr->Spawn([proc, handler, lcfd = *lcfd, ldir] {
+        auto dfd = Accept(proc.get(), lcfd, ldir);
+        if (dfd.ok()) {
+          handler(proc.get(), *dfd, ldir);
+        }
+        (void)proc->Close(lcfd);
+      });
+    }
+  });
+  return svc;
+}
+
+Result<std::unique_ptr<Service>> StartEchoService(std::shared_ptr<Proc> proc,
+                                                  const std::string& addr) {
+  return Serve(
+      proc, addr,
+      [](Proc* p, int dfd, const std::string&) {
+        // "echo until EOF"
+        char buf[256];
+        for (;;) {
+          auto n = p->Read(dfd, buf, sizeof buf);
+          if (!n.ok() || *n == 0) {
+            break;
+          }
+          auto w = p->Write(dfd, buf, *n);
+          if (!w.ok()) {
+            break;
+          }
+        }
+        (void)p->Close(dfd);
+      },
+      "echo");
+}
+
+Result<std::unique_ptr<Service>> StartDiscardService(std::shared_ptr<Proc> proc,
+                                                     const std::string& addr) {
+  return Serve(
+      proc, addr,
+      [](Proc* p, int dfd, const std::string&) {
+        char buf[1024];
+        for (;;) {
+          auto n = p->Read(dfd, buf, sizeof buf);
+          if (!n.ok() || *n == 0) {
+            break;
+          }
+        }
+        (void)p->Close(dfd);
+      },
+      "discard");
+}
+
+}  // namespace plan9

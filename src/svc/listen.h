@@ -1,0 +1,41 @@
+// Listener — the Plan 9 equivalent of inetd (§5.2, §6.1).
+//
+// Serve() runs the paper's echo-server skeleton as a reusable harness:
+// announce, loop on listen, "fork a process" (spawn a kproc) per call, run
+// the handler on the accepted data fd.  Stock handlers for the classic
+// trivial services (echo, discard, daytime — the very services the §4.1
+// database maps to ports) are provided.
+#ifndef SRC_SVC_LISTEN_H_
+#define SRC_SVC_LISTEN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/ns/proc.h"
+#include "src/svc/service.h"
+
+namespace plan9 {
+
+// Handler runs on its own kproc with the accepted data fd (and its
+// connection directory); it must Close(dfd) before returning.
+using CallHandler = std::function<void(Proc* proc, int dfd, const std::string& ldir)>;
+
+// Announce `addr` ("il!*!echo") in proc's name space and dispatch incoming
+// calls to `handler`.  Stop() (or destruction) closes the announcement.
+Result<std::unique_ptr<Service>> Serve(std::shared_ptr<Proc> proc,
+                                       const std::string& addr, CallHandler handler,
+                                       const std::string& name);
+
+// The echo server of §5.2: "echoes data on the connection until the remote
+// end closes it."
+Result<std::unique_ptr<Service>> StartEchoService(std::shared_ptr<Proc> proc,
+                                                  const std::string& addr);
+
+// Reads and discards until EOF.
+Result<std::unique_ptr<Service>> StartDiscardService(std::shared_ptr<Proc> proc,
+                                                     const std::string& addr);
+
+}  // namespace plan9
+
+#endif  // SRC_SVC_LISTEN_H_

@@ -1,0 +1,67 @@
+// Service — a long-running user-level server (listener, exportfs, DNS...).
+//
+// Owns the kprocs doing the work plus a stop function that unblocks them
+// (typically by closing the announcement ctl fd, which wakes the blocked
+// listen).  Destruction stops and joins.
+#ifndef SRC_SVC_SERVICE_H_
+#define SRC_SVC_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/task/kproc.h"
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+class Service {
+ public:
+  explicit Service(std::string name) : name_(std::move(name)) {}
+  ~Service() { Stop(); }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Spawn(std::function<void()> fn) {
+    QLockGuard guard(lock_);
+    kprocs_.emplace_back(name_ + "." + std::to_string(kprocs_.size()), std::move(fn));
+  }
+
+  void OnStop(std::function<void()> fn) {
+    QLockGuard guard(lock_);
+    stop_fns_.push_back(std::move(fn));
+  }
+
+  void Stop() {
+    std::vector<std::function<void()>> fns;
+    {
+      QLockGuard guard(lock_);
+      fns.swap(stop_fns_);
+    }
+    for (auto& fn : fns) {
+      fn();
+    }
+    std::vector<Kproc> procs;
+    {
+      QLockGuard guard(lock_);
+      procs.swap(kprocs_);
+    }
+    for (auto& k : procs) {
+      k.Join();
+    }
+  }
+
+ private:
+  std::string name_;
+  QLock lock_;
+  std::vector<Kproc> kprocs_;
+  std::vector<std::function<void()>> stop_fns_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_SVC_SERVICE_H_

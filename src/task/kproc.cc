@@ -1,0 +1,30 @@
+#include "src/task/kproc.h"
+
+#include <atomic>
+
+#include "src/base/logging.h"
+
+namespace plan9 {
+namespace {
+std::atomic<int> g_live{0};
+}  // namespace
+
+Kproc::Kproc(std::string name, std::function<void()> fn) : name_(std::move(name)) {
+  g_live.fetch_add(1);
+  thread_ = std::thread([name = name_, fn = std::move(fn)] {
+    P9_LOG(kDebug) << "kproc start: " << name;
+    fn();
+    P9_LOG(kDebug) << "kproc exit: " << name;
+    g_live.fetch_sub(1);
+  });
+}
+
+void Kproc::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+int Kproc::LiveCount() { return g_live.load(); }
+
+}  // namespace plan9

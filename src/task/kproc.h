@@ -1,0 +1,44 @@
+// Kernel processes.
+//
+// §2.4: "Processing modules create helper kernel processes to provide a
+// context for handling asynchronous events."  A Kproc is a named thread of
+// kernel context; unlike Unix stream service routines it may block on any
+// kernel resource and keeps long-lived local state.
+#ifndef SRC_TASK_KPROC_H_
+#define SRC_TASK_KPROC_H_
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace plan9 {
+
+class Kproc {
+ public:
+  Kproc() = default;
+  Kproc(std::string name, std::function<void()> fn);
+  ~Kproc() { Join(); }
+
+  Kproc(Kproc&&) = default;
+  Kproc& operator=(Kproc&& other) {
+    Join();
+    name_ = std::move(other.name_);
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  bool joinable() const { return thread_.joinable(); }
+  void Join();
+
+  // Count of currently live kprocs (leak checking in tests).
+  static int LiveCount();
+
+ private:
+  std::string name_;
+  std::thread thread_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_TASK_KPROC_H_

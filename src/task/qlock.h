@@ -1,0 +1,42 @@
+// QLock — Plan 9's queueing blocking lock.
+//
+// Kernel code in the paper serializes stream and protocol state with qlocks
+// and blocks on Rendez conditions while holding them.  We model a QLock as a
+// mutex usable with Rendez (rendez.h); RAII guards are provided.
+#ifndef SRC_TASK_QLOCK_H_
+#define SRC_TASK_QLOCK_H_
+
+#include <mutex>
+
+namespace plan9 {
+
+class QLock {
+ public:
+  QLock() = default;
+  QLock(const QLock&) = delete;
+  QLock& operator=(const QLock&) = delete;
+
+  void Lock() { mutex_.lock(); }
+  void Unlock() { mutex_.unlock(); }
+  bool TryLock() { return mutex_.try_lock(); }
+
+  // For Rendez and std::unique_lock interop.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII holder, Plan 9's `qlock(...); ... qunlock(...)` pairing.
+class QLockGuard {
+ public:
+  explicit QLockGuard(QLock& lock) : lock_(lock.native()) {}
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_TASK_QLOCK_H_

@@ -1,0 +1,47 @@
+// Rendez — Plan 9 sleep/wakeup.
+//
+// A kernel process sleeps on a Rendez until a condition holds; interrupt
+// handlers and other kprocs call Wakeup after changing the condition.  The
+// caller holds the QLock protecting the condition state, exactly as in the
+// Plan 9 kernel's sleep(r, cond, arg) idiom.
+#ifndef SRC_TASK_RENDEZ_H_
+#define SRC_TASK_RENDEZ_H_
+
+#include <chrono>
+#include <condition_variable>
+
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+class Rendez {
+ public:
+  Rendez() = default;
+  Rendez(const Rendez&) = delete;
+  Rendez& operator=(const Rendez&) = delete;
+
+  // Block until pred() is true.  `guard` must hold the QLock protecting the
+  // state pred reads; it is released while sleeping and re-held on return.
+  template <typename Pred>
+  void Sleep(QLockGuard& guard, Pred pred) {
+    cv_.wait(guard.native(), pred);
+  }
+
+  // As Sleep, with a deadline.  Returns false on timeout.
+  template <typename Pred>
+  bool SleepFor(QLockGuard& guard, std::chrono::nanoseconds timeout, Pred pred) {
+    return cv_.wait_for(guard.native(), timeout, pred);
+  }
+
+  // Wake all sleepers to re-evaluate their condition.  Plan 9's wakeup wakes
+  // one process; we wake all because distinct conditions can share a Rendez
+  // here (harmless: spurious wakeups re-check the predicate).
+  void Wakeup() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_TASK_RENDEZ_H_

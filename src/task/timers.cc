@@ -1,0 +1,93 @@
+#include "src/task/timers.h"
+
+#include <vector>
+
+namespace plan9 {
+
+TimerWheel::TimerWheel() : thread_([this] { Loop(); }) {}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+TimerId TimerWheel::Schedule(Clock::duration delay, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimerId id = next_id_++;
+  Clock::time_point when = Clock::now() + delay;
+  queue_.emplace(when, std::make_pair(id, std::move(fn)));
+  index_.emplace(id, when);
+  cv_.notify_all();
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  auto range = queue_.equal_range(it->second);
+  for (auto q = range.first; q != range.second; ++q) {
+    if (q->second.first == id) {
+      queue_.erase(q);
+      break;
+    }
+  }
+  index_.erase(it);
+  return true;
+}
+
+size_t TimerWheel::Pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void TimerWheel::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [&] { return !executing_; });
+}
+
+void TimerWheel::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    auto next = queue_.begin()->first;
+    if (Clock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    // Collect everything due, then run without the lock so callbacks can
+    // schedule or cancel timers.
+    std::vector<std::function<void()>> due;
+    auto now = Clock::now();
+    while (!queue_.empty() && queue_.begin()->first <= now) {
+      auto it = queue_.begin();
+      index_.erase(it->second.first);
+      due.push_back(std::move(it->second.second));
+      queue_.erase(it);
+    }
+    executing_ = true;
+    lock.unlock();
+    for (auto& fn : due) {
+      fn();
+    }
+    lock.lock();
+    executing_ = false;
+    drained_.notify_all();
+  }
+}
+
+TimerWheel& TimerWheel::Default() {
+  static TimerWheel* wheel = new TimerWheel();  // leaked: outlives all users
+  return *wheel;
+}
+
+}  // namespace plan9

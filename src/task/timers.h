@@ -1,0 +1,75 @@
+// Timer service.
+//
+// Protocol retransmission (§2.4: "a helper kernel process awakens
+// periodically to perform any necessary TCP retransmissions") and simulated
+// media delivery both need one-shot timers.  TimerWheel runs callbacks on a
+// dedicated kproc; Cancel guarantees the callback either already ran or will
+// never run (it never cancels a callback mid-flight from another thread's
+// perspective — see CancelSync).
+#ifndef SRC_TASK_TIMERS_H_
+#define SRC_TASK_TIMERS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace plan9 {
+
+using TimerId = uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimerWheel();
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Run `fn` on the timer kproc after `delay`.  Callbacks must not block for
+  // long: they typically put a block on a queue or wake a Rendez.
+  TimerId Schedule(Clock::duration delay, std::function<void()> fn);
+
+  // Best-effort cancel; returns true if the callback was removed before it
+  // ran.  The callback may be executing concurrently when this returns false.
+  bool Cancel(TimerId id);
+
+  // Number of pending timers (tests).
+  size_t Pending();
+
+  // Wait until the timer thread is not executing callbacks.  Teardown
+  // protocol: cancel your timers / detach your media callbacks, then Drain();
+  // afterwards no callback scheduled before the Drain can still be touching
+  // your state.  Must not be called from a timer callback.
+  void Drain();
+
+  // Process-wide default instance used by the simulator and protocols.
+  static TimerWheel& Default();
+
+ private:
+  struct Entry {
+    Clock::time_point when;
+    std::function<void()> fn;
+  };
+
+  void Loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>> queue_;
+  std::map<TimerId, Clock::time_point> index_;
+  TimerId next_id_ = 1;
+  bool stop_ = false;
+  bool executing_ = false;
+  std::condition_variable drained_;
+  std::thread thread_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_TASK_TIMERS_H_

@@ -1,0 +1,34 @@
+// Boot — configure a node's user level from the network database.
+//
+// Mirrors what a Plan 9 profile does at boot: write /lib/ndb/local, start
+// the connection server (and DNS) and mount them on /net, and pick up the
+// default gateway from the node's subnet entry (ipgw=, §4.1).
+#ifndef SRC_WORLD_BOOT_H_
+#define SRC_WORLD_BOOT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/csdns/cs.h"
+#include "src/csdns/dns.h"
+#include "src/ndb/ndb.h"
+#include "src/world/node.h"
+
+namespace plan9 {
+
+struct BootOptions {
+  // Dial string of an upstream DNS server ("udp!135.104.9.6!53"); empty for
+  // a node that relies on its own tables.
+  std::string dns_upstream;
+};
+
+// Installs CS (+DNS) into the node's base name space.  `db` must outlive
+// the node (it is shared among nodes, like the paper's "one database on a
+// shared server").  `ndb_text` additionally lands in /lib/ndb/local so
+// programs can read the database through the file system.
+Status BootNetwork(Node* node, std::shared_ptr<Ndb> db, const std::string& ndb_text,
+                   BootOptions opts = {});
+
+}  // namespace plan9
+
+#endif  // SRC_WORLD_BOOT_H_

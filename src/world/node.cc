@@ -1,0 +1,80 @@
+#include "src/world/node.h"
+
+namespace plan9 {
+
+Node::Node(std::string sysname) : sysname_(std::move(sysname)) {
+  // Conventional directories every Plan 9 name space provides.
+  (void)rootfs_.MkdirAll("net");
+  (void)rootfs_.MkdirAll("dev");
+  (void)rootfs_.MkdirAll("srv");
+  (void)rootfs_.MkdirAll("lib/ndb");
+  (void)rootfs_.MkdirAll("n");
+  (void)rootfs_.MkdirAll("bin");
+  (void)rootfs_.WriteFile("dev/sysname", sysname_);
+
+  tcp_ = std::make_unique<TcpProto>(&ip_);
+  udp_ = std::make_unique<UdpProto>(&ip_);
+  il_ = std::make_unique<IlProto>(&ip_);
+
+  base_ns_ = std::make_shared<Namespace>(&rootfs_);
+  // "By convention, the protocol and device driver file systems are mounted
+  // in a directory called /net."  Union-mounted so imports can add more.
+  (void)base_ns_->MountVfs(&netdir_, "/net", kMAfter);
+}
+
+Node::~Node() = default;
+
+void Node::AddIpProtoDirs() {
+  // The IP protocol devices appear under /net only on machines with an IP
+  // network — a Datakit-only terminal shows just /net/cs and /net/dk (§6.1).
+  if (ip_protos_added_) {
+    return;
+  }
+  ip_protos_added_ = true;
+  netdir_.Add(tcp_.get());
+  netdir_.Add(udp_.get());
+  netdir_.Add(il_.get());
+}
+
+void Node::AddEther(EtherSegment* segment, MacAddr mac, Ipv4Addr addr, Ipv4Addr mask) {
+  AddIpProtoDirs();
+  ip_.AddEtherInterface(segment, mac, addr, mask);
+  auto ether = std::make_unique<EtherProto>(
+      segment, mac, ethers_.empty() ? "ether0" : "ether" + std::to_string(ethers_.size()));
+  netdir_.Add(ether.get(), ether.get());
+  ethers_.push_back(std::move(ether));
+}
+
+void Node::AddDatakit(DatakitSwitch* dk, const std::string& dk_name) {
+  dk_name_ = dk_name;
+  dk_ = std::make_unique<DkProto>(dk, dk_name);
+  netdir_.Add(dk_.get());
+}
+
+int Node::AddCyclone(Wire* wire, Wire::End end) {
+  bool first = cyclone_.ConvCount() == 0 && cyclone_link_count_ == 0;
+  if (first) {
+    netdir_.Add(&cyclone_);
+  }
+  cyclone_link_count_++;
+  return cyclone_.AddLink(wire, end);
+}
+
+void Node::AddRoute(Ipv4Addr dest, Ipv4Addr mask, Ipv4Addr gateway) {
+  // Route out of whichever interface reaches the gateway.
+  ip_.AddRoute(dest, mask, gateway, 0);
+}
+
+void Node::SetDefaultGateway(Ipv4Addr gw) { ip_.SetDefaultGateway(gw); }
+
+void Node::EnableForwarding() { ip_.EnableForwarding(true); }
+
+std::unique_ptr<Proc> Node::NewProc(const std::string& user) {
+  return std::make_unique<Proc>(base_ns_, user);
+}
+
+std::unique_ptr<Proc> Node::NewProcPrivate(const std::string& user) {
+  return std::make_unique<Proc>(base_ns_->Fork(), user);
+}
+
+}  // namespace plan9

@@ -1,0 +1,117 @@
+// Node — one Plan 9 "machine".
+//
+// "A Plan 9 system comprises file servers, CPU servers and terminals"
+// connected by "a hierarchy of network speeds".  A Node assembles the kernel
+// pieces this library implements — root file system, IP stack with
+// TCP/UDP/IL protocol devices, optional Ethernet / Datakit / Cyclone
+// attachments, the connection server — into one bootable machine whose
+// processes see the conventional name space:
+//
+//   /net/{tcp,udp,il}/...     protocol devices (§2.3)
+//   /net/ether0/...           the Ethernet driver (§2.2, Figure 1)
+//   /net/dk/...               URP/Datakit
+//   /net/cyclone/...          point-to-point fiber (§7)
+//   /net/cs, /net/dns         connection server & DNS (mounted by csdns)
+//   /lib/ndb/local            the network database (§4.1)
+//   /srv /dev /n              conventional mount points
+//
+// Many Nodes live in one process; a World (world.h) wires their media
+// together according to an ndb description.
+#ifndef SRC_WORLD_NODE_H_
+#define SRC_WORLD_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dev/cyclone.h"
+#include "src/dev/devproto.h"
+#include "src/dev/ether.h"
+#include "src/dk/urp.h"
+#include "src/inet/il.h"
+#include "src/inet/ip.h"
+#include "src/inet/tcp.h"
+#include "src/inet/udp.h"
+#include "src/ninep/ramfs.h"
+#include "src/ns/namespace.h"
+#include "src/ns/proc.h"
+#include "src/sim/datakit.h"
+#include "src/sim/ether_segment.h"
+#include "src/sim/wire.h"
+
+namespace plan9 {
+
+class Node {
+ public:
+  explicit Node(std::string sysname);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& sysname() const { return sysname_; }
+
+  // --- hardware attachment (call before running traffic) -------------------
+
+  // Ethernet interface: joins the segment and configures IP over it.
+  void AddEther(EtherSegment* segment, MacAddr mac, Ipv4Addr addr,
+                Ipv4Addr mask = Ipv4Addr{});
+  // Datakit host attachment ("nj/astro/helix").
+  void AddDatakit(DatakitSwitch* dk, const std::string& dk_name);
+  // One end of a Cyclone fiber; returns the link number for `connect N`.
+  int AddCyclone(Wire* wire, Wire::End end);
+  // Static route / default gateway / packet forwarding (gateways, §4.1).
+  void AddRoute(Ipv4Addr dest, Ipv4Addr mask, Ipv4Addr gateway);
+  void SetDefaultGateway(Ipv4Addr gw);
+  void EnableForwarding();
+
+  // --- processes ------------------------------------------------------------
+
+  // A new process sharing the node's base name space.
+  std::unique_ptr<Proc> NewProc(const std::string& user = "glenda");
+  // A new process with a *copy* of the base name space (rfork RFNAMEG).
+  std::unique_ptr<Proc> NewProcPrivate(const std::string& user = "glenda");
+
+  // --- guts (for services and tests) ----------------------------------------
+
+  // Tie an object's lifetime to the node (mounted Vfs instances, service
+  // procs, shared databases).
+  void Keep(std::shared_ptr<void> obj) { kept_.push_back(std::move(obj)); }
+
+  RamFs* rootfs() { return &rootfs_; }
+  IpStack* ip() { return &ip_; }
+  IlProto* il() { return il_.get(); }
+  TcpProto* tcp() { return tcp_.get(); }
+  UdpProto* udp() { return udp_.get(); }
+  DkProto* dk() { return dk_.get(); }
+  EtherProto* ether(size_t i = 0) {
+    return i < ethers_.size() ? ethers_[i].get() : nullptr;
+  }
+  CycloneProto* cyclone() { return &cyclone_; }
+  Namespace* base_ns() { return base_ns_.get(); }
+  Ipv4Addr addr() { return ip_.PrimaryAddr(); }
+  const std::string& dk_name() const { return dk_name_; }
+
+ private:
+  void AddIpProtoDirs();
+
+  std::string sysname_;
+  RamFs rootfs_;
+  IpStack ip_;
+  std::unique_ptr<TcpProto> tcp_;
+  std::unique_ptr<UdpProto> udp_;
+  std::unique_ptr<IlProto> il_;
+  std::unique_ptr<DkProto> dk_;
+  std::vector<std::unique_ptr<EtherProto>> ethers_;
+  CycloneProto cyclone_;
+  int cyclone_link_count_ = 0;
+  bool ip_protos_added_ = false;
+  NetDirVfs netdir_;
+  std::string dk_name_;
+  std::shared_ptr<Namespace> base_ns_;
+  std::vector<std::shared_ptr<void>> kept_;
+};
+
+}  // namespace plan9
+
+#endif  // SRC_WORLD_NODE_H_

@@ -1,0 +1,123 @@
+// §5 library routines: address defaulting and parameterized dial sweeps
+// across every transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/base/strings.h"
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/sim/datakit.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+namespace plan9 {
+namespace {
+
+TEST(NetMkAddr, DefaultsLikeThePaper) {
+  // netmkaddr semantics: fill in missing network and service.
+  EXPECT_EQ(NetMkAddr("helix", "", "9fs"), "net!helix!9fs");
+  EXPECT_EQ(NetMkAddr("helix", "il", "9fs"), "il!helix!9fs");
+  EXPECT_EQ(NetMkAddr("il!helix", "", "9fs"), "il!helix!9fs");
+  EXPECT_EQ(NetMkAddr("il!helix!9fs", "tcp", "echo"), "il!helix!9fs");
+  EXPECT_EQ(NetMkAddr("helix", "", ""), "net!helix");
+}
+
+TEST(DialPathDelimited, ClassifiesProtocols) {
+  EXPECT_TRUE(DialPathDelimited("/net/il/3"));
+  EXPECT_TRUE(DialPathDelimited("/net/dk/0"));
+  EXPECT_TRUE(DialPathDelimited("/net/cyclone/1"));
+  EXPECT_FALSE(DialPathDelimited("/net/tcp/2"));
+  EXPECT_FALSE(DialPathDelimited("/n/gateway/net/tcp/5"));
+}
+
+// Parameterized sweep: the same dial/echo exchange must work identically
+// over every connection-oriented transport — "All protocol devices look
+// identical so user programs contain no network-specific code."
+class DialSweep : public ::testing::TestWithParam<const char*> {};
+
+constexpr char kNdb[] = R"(sys=helix
+	ip=135.104.9.31 dk=nj/astro/helix
+sys=musca
+	ip=135.104.9.6 dk=nj/astro/musca
+il=sweep port=6001
+tcp=sweep port=6001
+)";
+
+TEST_P(DialSweep, EchoOverEveryTransport) {
+  std::string proto = GetParam();
+  auto db = std::make_shared<Ndb>();
+  ASSERT_TRUE(db->Load(kNdb).ok());
+  EtherSegment ether(LinkParams::Ether10());
+  DatakitSwitch dk;
+  Node helix("helix"), musca("musca");
+  helix.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 1},
+                 Ipv4Addr::FromOctets(135, 104, 9, 31), Ipv4Addr{0xffffff00});
+  musca.AddEther(&ether, MacAddr{8, 0, 0x69, 2, 0x22, 2},
+                 Ipv4Addr::FromOctets(135, 104, 9, 6), Ipv4Addr{0xffffff00});
+  helix.AddDatakit(&dk, "nj/astro/helix");
+  musca.AddDatakit(&dk, "nj/astro/musca");
+  ASSERT_TRUE(BootNetwork(&helix, db, kNdb).ok());
+  ASSERT_TRUE(BootNetwork(&musca, db, kNdb).ok());
+
+  auto server = musca.NewProc();
+  std::string announce_addr = proto + "!*!sweep";
+  std::string dial_addr = proto + "!musca!sweep";
+  if (proto == "dk") {
+    announce_addr = "dk!*!sweep";
+    dial_addr = "dk!nj/astro/musca!sweep";
+  }
+  std::string adir;
+  auto afd = Announce(server.get(), announce_addr, &adir);
+  ASSERT_TRUE(afd.ok()) << afd.error().message();
+
+  std::thread listener([&] {
+    std::string ldir;
+    auto lcfd = Listen(server.get(), adir, &ldir);
+    ASSERT_TRUE(lcfd.ok());
+    auto dfd = Accept(server.get(), *lcfd, ldir);
+    ASSERT_TRUE(dfd.ok());
+    char buf[128];
+    for (;;) {
+      auto n = server->Read(*dfd, buf, sizeof buf);
+      if (!n.ok() || *n == 0) {
+        break;
+      }
+      ASSERT_TRUE(server->Write(*dfd, buf, *n).ok());
+    }
+    (void)server->Close(*dfd);
+    (void)server->Close(*lcfd);
+  });
+
+  auto client = helix.NewProc();
+  std::string dir;
+  auto fd = Dial(client.get(), dial_addr, &dir);
+  ASSERT_TRUE(fd.ok()) << fd.error().message();
+  EXPECT_NE(dir.find(proto), std::string::npos);
+
+  // Several exchanges, varied sizes.
+  for (size_t size : {1u, 57u, 1024u}) {
+    std::string msg(size, 'm');
+    ASSERT_TRUE(client->WriteString(*fd, msg).ok());
+    std::string got;
+    char buf[2048];
+    while (got.size() < size) {
+      auto n = client->Read(*fd, buf, sizeof buf);
+      ASSERT_TRUE(n.ok());
+      ASSERT_GT(*n, 0u);
+      got.append(buf, *n);
+    }
+    EXPECT_EQ(got, msg);
+  }
+  ASSERT_TRUE(client->Close(*fd).ok());
+  listener.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DialSweep,
+                         ::testing::Values("il", "tcp", "dk"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace plan9

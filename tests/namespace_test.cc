@@ -1,0 +1,166 @@
+// Name-space mechanics (§2.1, §6.1): bind, union order, create routing,
+// unmount, per-process forking.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ninep/ramfs.h"
+#include "src/ns/namespace.h"
+#include "src/ns/proc.h"
+
+namespace plan9 {
+namespace {
+
+class NamespaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(root_.MkdirAll("net").ok());
+    ASSERT_TRUE(root_.MkdirAll("n").ok());
+    ASSERT_TRUE(root_.WriteFile("net/cs", "local-cs").ok());
+    ASSERT_TRUE(other_.MkdirAll("sub").ok());
+    ASSERT_TRUE(other_.WriteFile("cs", "remote-cs").ok());
+    ASSERT_TRUE(other_.WriteFile("tcp", "remote-tcp").ok());
+    ns_ = std::make_shared<Namespace>(&root_);
+    proc_ = std::make_unique<Proc>(ns_, "glenda");
+  }
+
+  std::set<std::string> Names(const std::string& path) {
+    auto entries = proc_->ReadDir(path);
+    EXPECT_TRUE(entries.ok());
+    std::set<std::string> names;
+    if (entries.ok()) {
+      for (auto& d : *entries) {
+        names.insert(d.name);
+      }
+    }
+    return names;
+  }
+
+  RamFs root_, other_;
+  std::shared_ptr<Namespace> ns_;
+  std::unique_ptr<Proc> proc_;
+};
+
+TEST_F(NamespaceTest, MountReplaceHidesOriginal) {
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMRepl).ok());
+  auto names = Names("/net");
+  EXPECT_TRUE(names.count("tcp"));
+  EXPECT_TRUE(names.count("cs"));
+  // Replaced: the original /net/cs content is shadowed by the mount.
+  auto cs = proc_->ReadFile("/net/cs");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, "remote-cs");
+}
+
+TEST_F(NamespaceTest, MountAfterUnionsLocalFirst) {
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMAfter).ok());
+  auto names = Names("/net");
+  EXPECT_TRUE(names.count("cs"));
+  EXPECT_TRUE(names.count("tcp"));
+  EXPECT_TRUE(names.count("sub"));
+  // "Local entries supersede remote ones of the same name."
+  auto cs = proc_->ReadFile("/net/cs");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, "local-cs");
+}
+
+TEST_F(NamespaceTest, MountBeforeWinsOverLocal) {
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMBefore).ok());
+  auto cs = proc_->ReadFile("/net/cs");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, "remote-cs");
+}
+
+TEST_F(NamespaceTest, UnmountRestoresOriginal) {
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMBefore).ok());
+  ASSERT_TRUE(ns_->Unmount("/net").ok());
+  auto cs = proc_->ReadFile("/net/cs");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, "local-cs");
+  EXPECT_FALSE(proc_->ReadFile("/net/tcp").ok());
+  EXPECT_FALSE(ns_->Unmount("/net").ok()) << "second unmount must fail";
+}
+
+TEST_F(NamespaceTest, BindDirectoryOntoDirectory) {
+  ASSERT_TRUE(root_.MkdirAll("tmp").ok());
+  ASSERT_TRUE(root_.WriteFile("tmp/x", "in-tmp").ok());
+  ASSERT_TRUE(ns_->Bind("/tmp", "/n", kMRepl).ok());
+  auto x = proc_->ReadFile("/n/x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, "in-tmp");
+}
+
+TEST_F(NamespaceTest, CreateInUnionGoesToCreateElement) {
+  // kMAfter without kMCreate: creates land in the original (seeded with
+  // create permission); with kMCreate on the mounted tree they go there.
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMAfter).ok());
+  ASSERT_TRUE(proc_->WriteFile("/net/newfile", "hello").ok());
+  EXPECT_TRUE(root_.ReadFileText("net/newfile").ok())
+      << "create must go to the original union element";
+  EXPECT_FALSE(other_.ReadFileText("newfile").ok());
+}
+
+TEST_F(NamespaceTest, WalkThroughMountPoint) {
+  ASSERT_TRUE(ns_->MountVfs(&other_, "/net", kMAfter).ok());
+  auto sub = ns_->Resolve("/net/sub");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE((*sub)->IsDir());
+}
+
+TEST_F(NamespaceTest, ForkIsolatesLaterMounts) {
+  auto forked = ns_->Fork();
+  Proc other_proc(forked, "glenda");
+  ASSERT_TRUE(forked->MountVfs(&other_, "/net", kMBefore).ok());
+  // The fork sees the mount; the original does not.
+  auto in_fork = other_proc.ReadFile("/net/cs");
+  ASSERT_TRUE(in_fork.ok());
+  EXPECT_EQ(*in_fork, "remote-cs");
+  auto in_orig = proc_->ReadFile("/net/cs");
+  ASSERT_TRUE(in_orig.ok());
+  EXPECT_EQ(*in_orig, "local-cs");
+}
+
+TEST_F(NamespaceTest, ResolveErrorsNameTheComponent) {
+  auto missing = ns_->Resolve("/net/nonesuch");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message().find("nonesuch"), std::string::npos);
+}
+
+TEST_F(NamespaceTest, DotDotAndDotResolveLexically) {
+  ASSERT_TRUE(root_.MkdirAll("a/b").ok());
+  ASSERT_TRUE(root_.WriteFile("a/file", "here").ok());
+  auto f = proc_->ReadFile("/a/b/../file");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, "here");
+  auto g = proc_->ReadFile("/a/./file");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, "here");
+}
+
+TEST_F(NamespaceTest, FdOffsetsAdvanceIndependently) {
+  ASSERT_TRUE(root_.WriteFile("net/longfile", "abcdefghij").ok());
+  auto fd1 = proc_->Open("/net/longfile", kORead);
+  ASSERT_TRUE(fd1.ok());
+  auto fd2 = proc_->Open("/net/longfile", kORead);
+  ASSERT_TRUE(fd2.ok());
+  char buf[4] = {};
+  ASSERT_TRUE(proc_->Read(*fd1, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  ASSERT_TRUE(proc_->Read(*fd2, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc") << "separate opens, separate offsets";
+  ASSERT_TRUE(proc_->Read(*fd1, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "def");
+  // Dup shares... a *copy* of the offset (Plan 9 dup semantics are shared
+  // chan; ours copies — both are defensible; we assert ours).
+  auto fd3 = proc_->Dup(*fd1);
+  ASSERT_TRUE(fd3.ok());
+  ASSERT_TRUE(proc_->Read(*fd3, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "ghi");
+  // Seek repositions.
+  ASSERT_TRUE(proc_->Seek(*fd1, 0, kSeekSet).ok());
+  ASSERT_TRUE(proc_->Read(*fd1, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+}
+
+}  // namespace
+}  // namespace plan9

@@ -1,0 +1,160 @@
+// §4.1: the network database.
+#include <gtest/gtest.h>
+
+#include "src/ndb/ndb.h"
+
+namespace plan9 {
+namespace {
+
+// The entries printed in §4.1 of the paper, verbatim shapes.
+constexpr char kPaperNdb[] = R"(sys = helix
+	dom=helix.research.bell-labs.com
+	bootf=/mips/9power
+	ip=135.104.9.31 ether=0800690222f0
+	dk=nj/astro/helix
+	proto=il flavor=9cpu
+ipnet=mh-astro-net ip=135.104.0.0 ipmask=255.255.255.0
+	fs=bootes.research.bell-labs.com
+	auth=1127auth
+ipnet=unix-room ip=135.104.117.0
+	ipgw=135.104.117.1
+ipnet=third-floor ip=135.104.51.0
+	ipgw=135.104.51.1
+ipnet=fourth-floor ip=135.104.52.0
+	ipgw=135.104.52.1
+tcp=echo	port=7
+tcp=discard	port=9
+tcp=systat	port=11
+tcp=daytime	port=13
+)";
+
+class NdbTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(db_.Load(kPaperNdb).ok()); }
+  Ndb db_;
+};
+
+TEST_F(NdbTest, ParsesMultiLineEntries) {
+  // helix + 4 ipnets + 4 services.
+  EXPECT_EQ(db_.entry_count(), 9u);
+  auto helix = db_.Search("sys", "helix");
+  ASSERT_EQ(helix.size(), 1u);
+  EXPECT_EQ(helix[0]->Find("dom"), "helix.research.bell-labs.com");
+  EXPECT_EQ(helix[0]->Find("bootf"), "/mips/9power");
+  EXPECT_EQ(helix[0]->Find("ip"), "135.104.9.31");
+  EXPECT_EQ(helix[0]->Find("ether"), "0800690222f0");
+  EXPECT_EQ(helix[0]->Find("dk"), "nj/astro/helix");
+  EXPECT_EQ(helix[0]->Find("flavor"), "9cpu");
+}
+
+TEST_F(NdbTest, SearchByAnyAttribute) {
+  EXPECT_EQ(db_.Search("dom", "helix.research.bell-labs.com").size(), 1u);
+  EXPECT_EQ(db_.Search("ipgw", "135.104.51.1").size(), 1u);
+  EXPECT_TRUE(db_.Search("sys", "nonesuch").empty());
+}
+
+TEST_F(NdbTest, ServicePortsMatchPaperTable) {
+  EXPECT_EQ(db_.ServicePort("tcp", "echo"), 7);
+  EXPECT_EQ(db_.ServicePort("tcp", "discard"), 9);
+  EXPECT_EQ(db_.ServicePort("tcp", "systat"), 11);
+  EXPECT_EQ(db_.ServicePort("tcp", "daytime"), 13);
+  EXPECT_FALSE(db_.ServicePort("il", "echo").has_value());
+  // Numeric services pass through.
+  EXPECT_EQ(db_.ServicePort("tcp", "564"), 564);
+  EXPECT_FALSE(db_.ServicePort("tcp", "0").has_value());
+  EXPECT_FALSE(db_.ServicePort("tcp", "99999").has_value());
+}
+
+TEST_F(NdbTest, IpInfoWalksSystemThenSubnetThenNetwork) {
+  // A host in the unix-room subnet: ipgw comes from the subnet entry,
+  // auth/fs from the class-B network entry.
+  Ipv4Addr host = Ipv4Addr::FromOctets(135, 104, 117, 42);
+  auto gw = db_.IpInfo(host, "ipgw");
+  ASSERT_EQ(gw.size(), 1u);
+  EXPECT_EQ(gw[0], "135.104.117.1");
+  auto auth = db_.IpInfo(host, "auth");
+  ASSERT_EQ(auth.size(), 1u);
+  EXPECT_EQ(auth[0], "1127auth");
+  auto fs = db_.IpInfo(host, "fs");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0], "bootes.research.bell-labs.com");
+}
+
+TEST_F(NdbTest, IpInfoPrefersSystemEntry) {
+  // helix's own entry wins over network-level attributes it also has.
+  auto boot = db_.IpInfo(Ipv4Addr::FromOctets(135, 104, 9, 31), "bootf");
+  ASSERT_EQ(boot.size(), 1u);
+  EXPECT_EQ(boot[0], "/mips/9power");
+}
+
+TEST_F(NdbTest, IndexedAndLinearAgree) {
+  auto linear = db_.Search("sys", "helix");
+  uint64_t linear_count = db_.linear_lookups;
+  EXPECT_GT(linear_count, 0u);
+  db_.BuildIndex("sys");
+  auto indexed = db_.Search("sys", "helix");
+  EXPECT_GT(db_.indexed_lookups, 0u);
+  ASSERT_EQ(indexed.size(), linear.size());
+  ASSERT_FALSE(indexed.empty());
+  EXPECT_EQ(indexed[0], linear[0]);
+}
+
+TEST_F(NdbTest, StaleIndexFallsBackToScan) {
+  db_.BuildIndex("sys");
+  EXPECT_TRUE(db_.HasFreshIndex("sys"));
+  // "Every hash file contains the modification time of its master file":
+  // loading more data invalidates the index...
+  ASSERT_TRUE(db_.Load("sys=freshling\n\tip=10.9.9.9\n").ok());
+  EXPECT_FALSE(db_.HasFreshIndex("sys"));
+  // ...but "searches ... still work, they just take longer."
+  auto hit = db_.Search("sys", "freshling");
+  ASSERT_EQ(hit.size(), 1u);
+  db_.RebuildIndexes();
+  EXPECT_TRUE(db_.HasFreshIndex("sys"));
+  EXPECT_EQ(db_.Search("sys", "freshling").size(), 1u);
+}
+
+TEST_F(NdbTest, CommentsAndBlanksIgnored) {
+  Ndb db;
+  ASSERT_TRUE(db.Load("# comment\n\nsys=a\n\t# another\n\tip=1.2.3.4\n\n").ok());
+  EXPECT_EQ(db.entry_count(), 1u);
+  EXPECT_EQ(db.Search("sys", "a").size(), 1u);
+}
+
+TEST_F(NdbTest, AttributeWithoutValue) {
+  Ndb db;
+  ASSERT_TRUE(db.Load("sys=a trusted\n").ok());
+  auto e = db.Search("sys", "a");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_TRUE(e[0]->Find("trusted").has_value());
+  EXPECT_EQ(*e[0]->Find("trusted"), "");
+}
+
+TEST_F(NdbTest, ContinuationBeforeEntryIsError) {
+  Ndb db;
+  EXPECT_FALSE(db.Load("\tip=1.2.3.4\n").ok());
+}
+
+TEST_F(NdbTest, SynthesizedGlobalDbHasRequestedScale) {
+  auto text = SynthesizeGlobalNdb(43'000);
+  size_t lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_GE(lines, 43'000u);
+  EXPECT_LT(lines, 48'000u);
+  Ndb db;
+  ASSERT_TRUE(db.Load(text).ok());
+  EXPECT_GT(db.entry_count(), 8000u);
+  // Deterministic: same seed, same db.
+  EXPECT_EQ(SynthesizeGlobalNdb(1000), SynthesizeGlobalNdb(1000));
+}
+
+TEST_F(NdbTest, MultipleValuesForAttr) {
+  Ndb db;
+  ASSERT_TRUE(db.Load("ipnet=x ip=10.0.0.0\n\tauth=a\n\tauth=b\n").ok());
+  auto v = db.entries()[0].FindAll("auth");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+}
+
+}  // namespace
+}  // namespace plan9

@@ -1,0 +1,102 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace plan9 {
+namespace {
+
+TEST(GetFields, CollapsesAdjacentDelims) {
+  auto f = GetFields("a  b\tc", " \t");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(GetFields, NonCollapsingKeepsEmpties) {
+  auto f = GetFields("a!!b!", "!", /*collapse=*/false);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "b");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(GetFields, BangAddresses) {
+  auto f = GetFields("net!helix!9fs", "!");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "net");
+  EXPECT_EQ(f[1], "helix");
+  EXPECT_EQ(f[2], "9fs");
+}
+
+TEST(GetFields, EmptyInput) {
+  EXPECT_TRUE(GetFields("", " ").empty());
+  EXPECT_EQ(GetFields("", " ", false).size(), 1u);
+}
+
+TEST(Tokenize, SplitsOnWhitespace) {
+  auto t = Tokenize("connect 135.104.9.31!564");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "connect");
+  EXPECT_EQ(t[1], "135.104.9.31!564");
+}
+
+TEST(Tokenize, HonoursQuotes) {
+  auto t = Tokenize("announce 'a b' c");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "a b");
+}
+
+TEST(Tokenize, EscapedQuote) {
+  auto t = Tokenize("x 'don''t'");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1], "don't");
+}
+
+TEST(TrimSpace, Trims) {
+  EXPECT_EQ(TrimSpace("  hi \n"), "hi");
+  EXPECT_EQ(TrimSpace(""), "");
+  EXPECT_EQ(TrimSpace(" \t "), "");
+}
+
+TEST(ParseU64, Basics) {
+  EXPECT_EQ(ParseU64("0"), 0u);
+  EXPECT_EQ(ParseU64("17008"), 17008u);
+  EXPECT_FALSE(ParseU64("17x").has_value());
+  EXPECT_FALSE(ParseU64("").has_value());
+  EXPECT_FALSE(ParseU64("-1").has_value());
+}
+
+TEST(ParseI64, Basics) {
+  EXPECT_EQ(ParseI64("-12"), -12);
+  EXPECT_EQ(ParseI64("+4"), 4);
+  EXPECT_FALSE(ParseI64("--4").has_value());
+}
+
+TEST(StrFormat, Formats) {
+  EXPECT_EQ(StrFormat("%s/%d", "tcp", 2), "tcp/2");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(CleanName, Basics) {
+  EXPECT_EQ(CleanName("/net//tcp/./2"), "/net/tcp/2");
+  EXPECT_EQ(CleanName("/net/tcp/../il"), "/net/il");
+  EXPECT_EQ(CleanName("/.."), "/");
+  EXPECT_EQ(CleanName(""), ".");
+  EXPECT_EQ(CleanName("a/b/.."), "a");
+  EXPECT_EQ(CleanName("../x"), "../x");
+}
+
+TEST(CleanName, DeviceNames) {
+  EXPECT_EQ(CleanName("#l/ether0/clone"), "#l/ether0/clone");
+  EXPECT_EQ(CleanName("#p"), "#p");
+}
+
+TEST(Join, JoinsParts) {
+  EXPECT_EQ(Join({"a", "b"}, "/"), "a/b");
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+}  // namespace
+}  // namespace plan9

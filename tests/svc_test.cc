@@ -1,0 +1,210 @@
+// User-level services (§6): exportfs/import, the gateway property, and the
+// listener-based trivial services.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/base/strings.h"
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/svc/exportfs.h"
+#include "src/svc/listen.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+namespace plan9 {
+namespace {
+
+constexpr char kNdb[] = R"(sys=helix
+	dom=helix.research.bell-labs.com
+	ip=135.104.9.31 dk=nj/astro/helix
+sys=musca
+	dom=musca.research.bell-labs.com
+	ip=135.104.9.6 dk=nj/astro/musca
+sys=gnot
+	dk=nj/astro/gnot
+il=echo port=56789
+il=exportfs port=17007
+tcp=echo port=7
+)";
+
+class SvcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_shared<Ndb>();
+    ASSERT_TRUE(db_->Load(kNdb).ok());
+
+    helix_ = std::make_unique<Node>("helix");
+    musca_ = std::make_unique<Node>("musca");
+    gnot_ = std::make_unique<Node>("gnot");  // a terminal with ONLY Datakit
+    auto mac = [](uint8_t last) { return MacAddr{8, 0, 0x69, 2, 0x22, last}; };
+    helix_->AddEther(&ether_, mac(1), Ipv4Addr::FromOctets(135, 104, 9, 31),
+                     Ipv4Addr{0xffffff00});
+    musca_->AddEther(&ether_, mac(2), Ipv4Addr::FromOctets(135, 104, 9, 6),
+                     Ipv4Addr{0xffffff00});
+    helix_->AddDatakit(&dk_, "nj/astro/helix");
+    musca_->AddDatakit(&dk_, "nj/astro/musca");
+    gnot_->AddDatakit(&dk_, "nj/astro/gnot");
+    ASSERT_TRUE(BootNetwork(helix_.get(), db_, kNdb).ok());
+    ASSERT_TRUE(BootNetwork(musca_.get(), db_, kNdb).ok());
+    ASSERT_TRUE(BootNetwork(gnot_.get(), db_, kNdb).ok());
+  }
+
+  EtherSegment ether_{LinkParams::Ether10()};
+  DatakitSwitch dk_;
+  std::shared_ptr<Ndb> db_;
+  std::unique_ptr<Node> helix_, musca_, gnot_;
+};
+
+TEST_F(SvcTest, EchoServiceViaDial) {
+  auto svc = StartEchoService(
+      std::shared_ptr<Proc>(musca_->NewProc().release()), "il!*!echo");
+  ASSERT_TRUE(svc.ok());
+
+  auto client = helix_->NewProc();
+  auto fd = Dial(client.get(), "net!musca!echo");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client->WriteString(*fd, "are you there?").ok());
+  auto reply = client->ReadString(*fd, 64);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "are you there?");
+  ASSERT_TRUE(client->Close(*fd).ok());
+}
+
+TEST_F(SvcTest, ExportfsImportRemoteTree) {
+  // musca exports /lib; helix mounts it at /n/musca and reads through it.
+  ASSERT_TRUE(musca_->rootfs()->WriteFile("lib/motd", "maxims of musca").ok());
+  auto svc = StartExportfs(std::shared_ptr<Proc>(musca_->NewProc().release()),
+                           "il!*!exportfs");
+  ASSERT_TRUE(svc.ok());
+
+  auto proc = helix_->NewProcPrivate();
+  ASSERT_TRUE(
+      Import(proc.get(), "il!135.104.9.6!17007", "/lib", "/n/musca", kMRepl).ok());
+
+  auto motd = proc->ReadFile("/n/musca/motd");
+  ASSERT_TRUE(motd.ok());
+  EXPECT_EQ(*motd, "maxims of musca");
+
+  // Writes go back: "Operations in the imported file tree are executed on
+  // the remote server."
+  ASSERT_TRUE(proc->WriteFile("/n/musca/from-helix", "hello musca").ok());
+  auto check = musca_->rootfs()->ReadFileText("lib/from-helix");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(*check, "hello musca");
+
+  // Directory listing across the mount.
+  auto entries = proc->ReadDir("/n/musca");
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> names;
+  for (auto& d : *entries) {
+    names.insert(d.name);
+  }
+  EXPECT_TRUE(names.count("motd"));
+  EXPECT_TRUE(names.count("from-helix"));
+  EXPECT_TRUE(names.count("ndb"));
+}
+
+TEST_F(SvcTest, GatewayImportNetParagraph61) {
+  // The §6.1 example: a terminal with only a Datakit connection imports
+  // /net from helix; all of helix's networks become available.
+  auto exportsvc = StartExportfs(
+      std::shared_ptr<Proc>(helix_->NewProc().release()), "dk!*!exportfs");
+  ASSERT_TRUE(exportsvc.ok());
+
+  auto proc = gnot_->NewProcPrivate("philw");
+
+  // "philw-gnot% ls /net" — before: local networks only.
+  {
+    auto entries = proc->ReadDir("/net");
+    ASSERT_TRUE(entries.ok());
+    std::set<std::string> names;
+    for (auto& d : *entries) {
+      names.insert(d.name);
+    }
+    EXPECT_TRUE(names.count("cs"));
+    EXPECT_TRUE(names.count("dk"));
+    EXPECT_FALSE(names.count("tcp"));
+    EXPECT_FALSE(names.count("ether0"));
+  }
+
+  // "import -a helix /net"
+  ASSERT_TRUE(
+      Import(proc.get(), "dk!nj/astro/helix!exportfs", "/net", "/net", kMAfter).ok());
+
+  // After: the union contains helix's networks too.
+  {
+    auto entries = proc->ReadDir("/net");
+    ASSERT_TRUE(entries.ok());
+    std::set<std::string> names;
+    for (auto& d : *entries) {
+      names.insert(d.name);
+    }
+    for (const char* want : {"cs", "dk", "tcp", "udp", "il", "ether0", "dns"}) {
+      EXPECT_TRUE(names.count(want)) << "missing /net/" << want;
+    }
+  }
+
+  // And they work: dial TCP *through helix's stack* to musca's echo server.
+  auto echosvc = StartEchoService(
+      std::shared_ptr<Proc>(musca_->NewProc().release()), "tcp!*!7");
+  ASSERT_TRUE(echosvc.ok());
+
+  auto cfd = proc->Open("/net/tcp/clone", kORdWr);
+  ASSERT_TRUE(cfd.ok()) << "remote tcp device must be visible";
+  auto num = proc->ReadString(*cfd, 16);
+  ASSERT_TRUE(num.ok());
+  ASSERT_TRUE(proc->WriteString(*cfd, "connect 135.104.9.6!7").ok());
+  auto dfd = proc->Open("/net/tcp/" + *num + "/data", kORdWr);
+  ASSERT_TRUE(dfd.ok());
+  ASSERT_TRUE(proc->WriteString(*dfd, "via the gateway").ok());
+  auto reply = proc->ReadString(*dfd, 64);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "via the gateway");
+  ASSERT_TRUE(proc->Close(*dfd).ok());
+  ASSERT_TRUE(proc->Close(*cfd).ok());
+
+  // "Local entries supersede remote ones of the same name": gnot's own cs
+  // still answers (it knows gnot's dk address, helix's wouldn't).
+  auto fd = proc->Open("/net/cs", kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(proc->WriteString(*fd, "dk!nj/astro/musca!x").ok());
+  ASSERT_TRUE(proc->Seek(*fd, 0, kSeekSet).ok());
+  auto line = proc->ReadString(*fd);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "/net/dk/clone nj/astro/musca!x");
+  (void)proc->Close(*fd);
+}
+
+TEST_F(SvcTest, ImportIsPerProcessNamespace) {
+  // A private namespace sees the import; the node's base namespace doesn't.
+  ASSERT_TRUE(musca_->rootfs()->WriteFile("lib/motd", "musca speaks").ok());
+  auto svc = StartExportfs(std::shared_ptr<Proc>(musca_->NewProc().release()),
+                           "il!*!exportfs");
+  ASSERT_TRUE(svc.ok());
+
+  auto priv = helix_->NewProcPrivate();
+  ASSERT_TRUE(
+      Import(priv.get(), "il!135.104.9.6!17007", "/lib", "/n/musca", kMRepl).ok());
+  EXPECT_TRUE(priv->ReadFile("/n/musca/motd").ok());
+
+  auto other = helix_->NewProc();
+  EXPECT_FALSE(other->ReadFile("/n/musca/motd").ok());
+}
+
+TEST_F(SvcTest, DiscardServiceSwallowsData) {
+  auto svc = StartDiscardService(
+      std::shared_ptr<Proc>(musca_->NewProc().release()), "il!*!9009");
+  ASSERT_TRUE(svc.ok());
+  auto client = helix_->NewProc();
+  auto fd = Dial(client.get(), "il!135.104.9.6!9009");
+  ASSERT_TRUE(fd.ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(client->WriteString(*fd, "into the void").ok());
+  }
+  ASSERT_TRUE(client->Close(*fd).ok());
+}
+
+}  // namespace
+}  // namespace plan9
