@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs.dir/bench_cs.cc.o"
+  "CMakeFiles/bench_cs.dir/bench_cs.cc.o.d"
+  "bench_cs"
+  "bench_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ether.dir/bench_ether.cc.o"
+  "CMakeFiles/bench_ether.dir/bench_ether.cc.o.d"
+  "bench_ether"
+  "bench_ether.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ether.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_il_vs_tcp.dir/bench_il_vs_tcp.cc.o"
+  "CMakeFiles/bench_il_vs_tcp.dir/bench_il_vs_tcp.cc.o.d"
+  "bench_il_vs_tcp"
+  "bench_il_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_il_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss.dir/bench_loss.cc.o"
+  "CMakeFiles/bench_loss.dir/bench_loss.cc.o.d"
+  "bench_loss"
+  "bench_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndb.dir/bench_ndb.cc.o"
+  "CMakeFiles/bench_ndb.dir/bench_ndb.cc.o.d"
+  "bench_ndb"
+  "bench_ndb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

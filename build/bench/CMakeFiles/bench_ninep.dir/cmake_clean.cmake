@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ninep.dir/bench_ninep.cc.o"
+  "CMakeFiles/bench_ninep.dir/bench_ninep.cc.o.d"
+  "bench_ninep"
+  "bench_ninep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ninep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

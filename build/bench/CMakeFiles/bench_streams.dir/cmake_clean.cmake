@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streams.dir/bench_streams.cc.o"
+  "CMakeFiles/bench_streams.dir/bench_streams.cc.o.d"
+  "bench_streams"
+  "bench_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

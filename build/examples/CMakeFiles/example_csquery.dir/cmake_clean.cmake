@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_csquery.dir/csquery.cpp.o"
+  "CMakeFiles/example_csquery.dir/csquery.cpp.o.d"
+  "example_csquery"
+  "example_csquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_csquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

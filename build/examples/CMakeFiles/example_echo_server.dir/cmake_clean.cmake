@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_echo_server.dir/echo_server.cpp.o"
+  "CMakeFiles/example_echo_server.dir/echo_server.cpp.o.d"
+  "example_echo_server"
+  "example_echo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_echo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

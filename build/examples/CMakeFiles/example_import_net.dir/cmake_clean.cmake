@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_import_net.dir/import_net.cpp.o"
+  "CMakeFiles/example_import_net.dir/import_net.cpp.o.d"
+  "example_import_net"
+  "example_import_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_import_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/plan9net.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/plan9net.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/base/strings.cc.o.d"
+  "/root/repo/src/csdns/cs.cc" "src/CMakeFiles/plan9net.dir/csdns/cs.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/csdns/cs.cc.o.d"
+  "/root/repo/src/csdns/dns.cc" "src/CMakeFiles/plan9net.dir/csdns/dns.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/csdns/dns.cc.o.d"
+  "/root/repo/src/dev/cyclone.cc" "src/CMakeFiles/plan9net.dir/dev/cyclone.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/dev/cyclone.cc.o.d"
+  "/root/repo/src/dev/devproto.cc" "src/CMakeFiles/plan9net.dir/dev/devproto.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/dev/devproto.cc.o.d"
+  "/root/repo/src/dev/ether.cc" "src/CMakeFiles/plan9net.dir/dev/ether.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/dev/ether.cc.o.d"
+  "/root/repo/src/dial/dial.cc" "src/CMakeFiles/plan9net.dir/dial/dial.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/dial/dial.cc.o.d"
+  "/root/repo/src/dk/urp.cc" "src/CMakeFiles/plan9net.dir/dk/urp.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/dk/urp.cc.o.d"
+  "/root/repo/src/inet/il.cc" "src/CMakeFiles/plan9net.dir/inet/il.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/il.cc.o.d"
+  "/root/repo/src/inet/ip.cc" "src/CMakeFiles/plan9net.dir/inet/ip.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/ip.cc.o.d"
+  "/root/repo/src/inet/ipaddr.cc" "src/CMakeFiles/plan9net.dir/inet/ipaddr.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/ipaddr.cc.o.d"
+  "/root/repo/src/inet/portutil.cc" "src/CMakeFiles/plan9net.dir/inet/portutil.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/portutil.cc.o.d"
+  "/root/repo/src/inet/tcp.cc" "src/CMakeFiles/plan9net.dir/inet/tcp.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/tcp.cc.o.d"
+  "/root/repo/src/inet/udp.cc" "src/CMakeFiles/plan9net.dir/inet/udp.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/inet/udp.cc.o.d"
+  "/root/repo/src/ndb/ndb.cc" "src/CMakeFiles/plan9net.dir/ndb/ndb.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ndb/ndb.cc.o.d"
+  "/root/repo/src/ninep/client.cc" "src/CMakeFiles/plan9net.dir/ninep/client.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ninep/client.cc.o.d"
+  "/root/repo/src/ninep/fcall.cc" "src/CMakeFiles/plan9net.dir/ninep/fcall.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ninep/fcall.cc.o.d"
+  "/root/repo/src/ninep/ramfs.cc" "src/CMakeFiles/plan9net.dir/ninep/ramfs.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ninep/ramfs.cc.o.d"
+  "/root/repo/src/ninep/server.cc" "src/CMakeFiles/plan9net.dir/ninep/server.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ninep/server.cc.o.d"
+  "/root/repo/src/ninep/transport.cc" "src/CMakeFiles/plan9net.dir/ninep/transport.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ninep/transport.cc.o.d"
+  "/root/repo/src/ns/mnt.cc" "src/CMakeFiles/plan9net.dir/ns/mnt.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ns/mnt.cc.o.d"
+  "/root/repo/src/ns/namespace.cc" "src/CMakeFiles/plan9net.dir/ns/namespace.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ns/namespace.cc.o.d"
+  "/root/repo/src/ns/proc.cc" "src/CMakeFiles/plan9net.dir/ns/proc.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/ns/proc.cc.o.d"
+  "/root/repo/src/sim/datakit.cc" "src/CMakeFiles/plan9net.dir/sim/datakit.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/sim/datakit.cc.o.d"
+  "/root/repo/src/sim/ether_segment.cc" "src/CMakeFiles/plan9net.dir/sim/ether_segment.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/sim/ether_segment.cc.o.d"
+  "/root/repo/src/sim/wire.cc" "src/CMakeFiles/plan9net.dir/sim/wire.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/sim/wire.cc.o.d"
+  "/root/repo/src/stream/queue.cc" "src/CMakeFiles/plan9net.dir/stream/queue.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/stream/queue.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/plan9net.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/stream/stream.cc.o.d"
+  "/root/repo/src/svc/exportfs.cc" "src/CMakeFiles/plan9net.dir/svc/exportfs.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/svc/exportfs.cc.o.d"
+  "/root/repo/src/svc/listen.cc" "src/CMakeFiles/plan9net.dir/svc/listen.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/svc/listen.cc.o.d"
+  "/root/repo/src/task/kproc.cc" "src/CMakeFiles/plan9net.dir/task/kproc.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/task/kproc.cc.o.d"
+  "/root/repo/src/task/timers.cc" "src/CMakeFiles/plan9net.dir/task/timers.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/task/timers.cc.o.d"
+  "/root/repo/src/world/boot.cc" "src/CMakeFiles/plan9net.dir/world/boot.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/world/boot.cc.o.d"
+  "/root/repo/src/world/node.cc" "src/CMakeFiles/plan9net.dir/world/node.cc.o" "gcc" "src/CMakeFiles/plan9net.dir/world/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

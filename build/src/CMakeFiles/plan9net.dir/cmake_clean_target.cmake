@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplan9net.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dial_test.cc" "tests/CMakeFiles/plan9net_tests.dir/dial_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/dial_test.cc.o.d"
+  "/root/repo/tests/inet_test.cc" "tests/CMakeFiles/plan9net_tests.dir/inet_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/inet_test.cc.o.d"
+  "/root/repo/tests/namespace_test.cc" "tests/CMakeFiles/plan9net_tests.dir/namespace_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/namespace_test.cc.o.d"
+  "/root/repo/tests/ndb_test.cc" "tests/CMakeFiles/plan9net_tests.dir/ndb_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/ndb_test.cc.o.d"
+  "/root/repo/tests/ninep_test.cc" "tests/CMakeFiles/plan9net_tests.dir/ninep_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/ninep_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/plan9net_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/strings_test.cc" "tests/CMakeFiles/plan9net_tests.dir/strings_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/strings_test.cc.o.d"
+  "/root/repo/tests/svc_test.cc" "tests/CMakeFiles/plan9net_tests.dir/svc_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/svc_test.cc.o.d"
+  "/root/repo/tests/world_test.cc" "tests/CMakeFiles/plan9net_tests.dir/world_test.cc.o" "gcc" "tests/CMakeFiles/plan9net_tests.dir/world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plan9net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan9net_tests.dir/dial_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/dial_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/inet_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/inet_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/namespace_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/namespace_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/ndb_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/ndb_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/ninep_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/ninep_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/stream_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/stream_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/strings_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/strings_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/svc_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/svc_test.cc.o.d"
+  "CMakeFiles/plan9net_tests.dir/world_test.cc.o"
+  "CMakeFiles/plan9net_tests.dir/world_test.cc.o.d"
+  "plan9net_tests"
+  "plan9net_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan9net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
