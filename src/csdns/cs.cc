@@ -212,10 +212,10 @@ class CsFileVnode : public Vnode {
 
  private:
   std::shared_ptr<CsTranslator> translator_;
-  QLock lock_;
-  std::vector<std::string> lines_;
-  size_t next_ = 0;
-  std::string error_;
+  QLock lock_{"cs.file"};
+  std::vector<std::string> lines_ GUARDED_BY(lock_);
+  size_t next_ GUARDED_BY(lock_) = 0;
+  std::string error_ GUARDED_BY(lock_);
 };
 
 class CsRootVnode : public Vnode, public std::enable_shared_from_this<CsRootVnode> {

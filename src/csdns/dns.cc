@@ -136,10 +136,10 @@ class DnsFileVnode : public Vnode {
 
  private:
   DnsResolver* resolver_;
-  QLock lock_;
-  std::vector<std::string> lines_;
-  size_t next_ = 0;
-  std::string error_;
+  QLock lock_{"dns.file"};
+  std::vector<std::string> lines_ GUARDED_BY(lock_);
+  size_t next_ GUARDED_BY(lock_) = 0;
+  std::string error_ GUARDED_BY(lock_);
 };
 
 class DnsRootVnode : public Vnode, public std::enable_shared_from_this<DnsRootVnode> {

@@ -13,12 +13,14 @@
 #ifndef SRC_CSDNS_DNS_H_
 #define SRC_CSDNS_DNS_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/ndb/ndb.h"
 #include "src/ninep/server.h"
 #include "src/ns/proc.h"
@@ -39,8 +41,8 @@ class DnsResolver {
   Result<std::vector<std::string>> Resolve(const std::string& domain,
                                            const std::string& type = "ip");
 
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t upstream_queries() const { return upstream_queries_; }
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  uint64_t upstream_queries() const { return upstream_queries_.load(); }
 
  private:
   struct CacheLine {
@@ -54,10 +56,11 @@ class DnsResolver {
   Proc* proc_;
   std::string upstream_;
   const Ndb* local_db_;
-  QLock lock_;
-  std::map<std::string, CacheLine> cache_;
-  uint64_t cache_hits_ = 0;
-  uint64_t upstream_queries_ = 0;
+  QLock lock_{"dns.cache"};
+  std::map<std::string, CacheLine> cache_ GUARDED_BY(lock_);
+  // Atomic: bumped on the resolve path, read by unlocked stats accessors.
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> upstream_queries_{0};
 };
 
 // The /net/dns file server: a one-file tree to union-mount onto /net.

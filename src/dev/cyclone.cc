@@ -139,7 +139,7 @@ Status CycloneConv::SendMessage(const Bytes& msg) {
   Wire::End end = Wire::kA;
   {
     QLockGuard guard(lock_);
-    credit_.Sleep(guard, [&] { return !connected_ || outstanding_ < kMaxOutstanding; });
+    credit_.Sleep(lock_, [&]() REQUIRES(lock_) { return !connected_ || outstanding_ < kMaxOutstanding; });
     if (!connected_) {
       return Error(kErrHungup);
     }

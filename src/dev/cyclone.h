@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/inet/netproto.h"
 #include "src/sim/wire.h"
 #include "src/task/qlock.h"
@@ -48,14 +49,16 @@ class CycloneConv : public NetConv {
   void Recycle();
 
   CycloneProto* proto_;
-  QLock lock_;
+  // Ordered after cyclone.proto (connect holds both).
+  QLock lock_{"cyclone.conv"};
   Rendez credit_;
-  bool connected_ = false;
-  bool in_use_ = false;
-  int link_ = -1;
-  Wire* wire_ = nullptr;  // cached at connect: avoids proto lock on the data path
-  Wire::End wend_ = Wire::kA;
-  size_t outstanding_ = 0;
+  bool connected_ GUARDED_BY(lock_) = false;
+  bool in_use_ GUARDED_BY(lock_) = false;
+  int link_ GUARDED_BY(lock_) = -1;
+  // Cached at connect: avoids the proto lock on the data path.
+  Wire* wire_ GUARDED_BY(lock_) = nullptr;
+  Wire::End wend_ GUARDED_BY(lock_) = Wire::kA;
+  size_t outstanding_ GUARDED_BY(lock_) = 0;
 };
 
 class CycloneProto : public NetProto {
@@ -79,9 +82,9 @@ class CycloneProto : public NetProto {
     CycloneConv* bound = nullptr;  // at most one conversation per fiber
   };
 
-  QLock lock_;
-  std::vector<Link> links_;
-  std::vector<std::unique_ptr<CycloneConv>> convs_;
+  QLock lock_{"cyclone.proto"};
+  std::vector<Link> links_ GUARDED_BY(lock_);
+  std::vector<std::unique_ptr<CycloneConv>> convs_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/dev/devproto.h"
 #include "src/inet/netproto.h"
 #include "src/sim/ether_segment.h"
@@ -56,13 +57,14 @@ class EtherConv : public NetConv {
   void Recycle();
 
   EtherProto* proto_;
-  mutable QLock lock_;
-  std::optional<int32_t> type_;  // -1 = all packets
-  bool promiscuous_ = false;
-  bool in_use_ = false;
-  uint64_t in_count_ = 0;
-  uint64_t out_count_ = 0;
-  uint64_t drop_count_ = 0;
+  // Ordered after ether.proto (Clone/Input hold both).
+  mutable QLock lock_{"ether.conv"};
+  std::optional<int32_t> type_ GUARDED_BY(lock_);  // -1 = all packets
+  bool promiscuous_ GUARDED_BY(lock_) = false;
+  bool in_use_ GUARDED_BY(lock_) = false;
+  uint64_t in_count_ GUARDED_BY(lock_) = 0;
+  uint64_t out_count_ GUARDED_BY(lock_) = 0;
+  uint64_t drop_count_ GUARDED_BY(lock_) = 0;
 };
 
 class EtherProto : public NetProto, public ProtoFiles {
@@ -103,8 +105,8 @@ class EtherProto : public NetProto, public ProtoFiles {
   EtherSegment* segment_;
   MacAddr mac_;
   EtherSegment::StationId station_;
-  QLock lock_;
-  std::vector<std::unique_ptr<EtherConv>> convs_;
+  QLock lock_{"ether.proto"};
+  std::vector<std::unique_ptr<EtherConv>> convs_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

@@ -198,7 +198,7 @@ Status DkConv::WaitReady() {
   }
   (void)DoAccept();
   QLockGuard guard(lock_);
-  bool done = decided_.SleepFor(guard, std::chrono::seconds(5), [&] {
+  bool done = decided_.SleepFor(lock_, std::chrono::seconds(5), [&]() REQUIRES(lock_) {
     return state_ == State::kEstablished || state_ == State::kClosed;
   });
   if (state_ == State::kEstablished) {
@@ -213,7 +213,7 @@ Result<int> DkConv::Listen() {
   if (state_ != State::kAnnounced) {
     return Error("not announced");
   }
-  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  incoming_.Sleep(lock_, [&]() REQUIRES(lock_) { return !pending_.empty() || state_ == State::kClosed; });
   if (state_ == State::kClosed) {
     return Error(kErrHungup);
   }
@@ -251,11 +251,13 @@ void DkConv::CloseUser() {
   std::deque<int> orphans;
   std::shared_ptr<DkCircuit> circuit;
   std::shared_ptr<DkCall> call;
+  DkCircuit::End end = Wire::kA;
   {
     QLockGuard guard(lock_);
     orphans.swap(pending_);
     circuit = circuit_;
     call = call_;
+    end = end_;
     state_ = State::kClosed;
     if (timer_ != kNoTimer) {
       TimerWheel::Default().Cancel(timer_);
@@ -267,7 +269,7 @@ void DkConv::CloseUser() {
     call->Reject("hangup");
   }
   if (circuit != nullptr) {
-    circuit->Close(end_);
+    circuit->Close(end);
   }
   stream_->Hangup();
   incoming_.Wakeup();
@@ -287,7 +289,7 @@ Status DkConv::SendMessage(const Bytes& msg) {
   size_t ncells = msg.empty() ? 1 : (msg.size() + DkConv::kCellData - 1) / DkConv::kCellData;
   for (size_t i = 0; i < ncells; i++) {
     // Flow control: at most kWindow cells outstanding plus a modest queue.
-    window_.Sleep(guard, [&] { return state_ != State::kEstablished || out_.size() < 32; });
+    window_.Sleep(lock_, [&]() REQUIRES(lock_) { return state_ != State::kEstablished || out_.size() < 32; });
     if (state_ != State::kEstablished) {
       return Error(err_.empty() ? std::string(kErrHungup) : err_);
     }

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/inet/netproto.h"
 #include "src/sim/datakit.h"
 #include "src/task/qlock.h"
@@ -71,42 +72,45 @@ class DkConv : public NetConv {
   Status SendMessage(const Bytes& msg);
   void CircuitInput(Bytes cell);
   void CircuitHangup();
-  void PumpLocked();             // send cells while window allows
-  void EmitAckLocked();
-  void ArmTimerLocked();
+  void PumpLocked() REQUIRES(lock_);  // send cells while window allows
+  void EmitAckLocked() REQUIRES(lock_);
+  void ArmTimerLocked() REQUIRES(lock_);
   void TimerFire();
   Status DoAccept();
   void Recycle();
 
   DkProto* proto_;
-  QLock lock_;
+  // Ordered after dk.proto (AllocConv/IncomingCall hold both).
+  QLock lock_{"dk.conv"};
   Rendez window_;    // sender window space
   Rendez incoming_;  // pending calls
   Rendez decided_;   // incoming call accepted/rejected
 
-  State state_ = State::kIdle;
-  bool slot_free_ = true;
-  bool dying_ = false;  // proto teardown: never re-arm the timer
-  std::string remote_addr_;
-  std::string announced_service_;
+  State state_ GUARDED_BY(lock_) = State::kIdle;
+  bool slot_free_ GUARDED_BY(lock_) = true;
+  // Proto teardown: never re-arm the timer.
+  bool dying_ GUARDED_BY(lock_) = false;
+  std::string remote_addr_ GUARDED_BY(lock_);
+  std::string announced_service_ GUARDED_BY(lock_);
 
-  std::shared_ptr<DkCircuit> circuit_;
-  DkCircuit::End end_ = Wire::kA;
-  std::shared_ptr<DkCall> call_;  // incoming, pre-accept
+  std::shared_ptr<DkCircuit> circuit_ GUARDED_BY(lock_);
+  DkCircuit::End end_ GUARDED_BY(lock_) = Wire::kA;
+  std::shared_ptr<DkCall> call_ GUARDED_BY(lock_);  // incoming, pre-accept
 
   // URP sender.
-  uint8_t send_seq_ = 0;   // next sequence to assign
-  uint8_t send_una_ = 0;   // oldest unacknowledged
-  std::deque<Cell> out_;   // cells [send_una_ ...], window + queued
-  TimerId timer_ = kNoTimer;
+  uint8_t send_seq_ GUARDED_BY(lock_) = 0;  // next sequence to assign
+  uint8_t send_una_ GUARDED_BY(lock_) = 0;  // oldest unacknowledged
+  // Cells [send_una_ ...], window + queued.
+  std::deque<Cell> out_ GUARDED_BY(lock_);
+  TimerId timer_ GUARDED_BY(lock_) = kNoTimer;
 
   // URP receiver.
-  uint8_t recv_expect_ = 0;
-  Bytes partial_;  // message being reassembled (BOT..EOT)
+  uint8_t recv_expect_ GUARDED_BY(lock_) = 0;
+  Bytes partial_ GUARDED_BY(lock_);  // message being reassembled (BOT..EOT)
 
-  std::deque<int> pending_;
-  std::string err_;
-  UrpStats stats_;
+  std::deque<int> pending_ GUARDED_BY(lock_);
+  std::string err_ GUARDED_BY(lock_);
+  UrpStats stats_ GUARDED_BY(lock_);
 };
 
 class DkProto : public NetProto {
@@ -131,8 +135,8 @@ class DkProto : public NetProto {
 
   DatakitSwitch* switch_;
   std::string host_name_;
-  QLock lock_;
-  std::vector<std::unique_ptr<DkConv>> convs_;
+  QLock lock_{"dk.proto"};
+  std::vector<std::unique_ptr<DkConv>> convs_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
@@ -181,7 +182,7 @@ Status IlConv::WaitReady() {
   if (state_ == State::kListening) {
     return Status::Ok();
   }
-  bool done = ready_.SleepFor(guard, std::chrono::seconds(15), [&] {
+  bool done = ready_.SleepFor(lock_, std::chrono::seconds(15), [&]() REQUIRES(lock_) {
     return state_ == State::kEstablished || state_ == State::kClosed;
   });
   if (state_ == State::kEstablished) {
@@ -198,7 +199,7 @@ Result<int> IlConv::Listen() {
   if (state_ != State::kListening) {
     return Error("not announced");
   }
-  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  incoming_.Sleep(lock_, [&]() REQUIRES(lock_) { return !pending_.empty() || state_ == State::kClosed; });
   if (state_ == State::kClosed) {
     return Error(kErrHungup);
   }
@@ -234,6 +235,7 @@ IlConvStats IlConv::stats() {
 
 void IlConv::CloseUser() {
   std::deque<int> orphans;
+  bool hangup = false;
   {
     QLockGuard guard(lock_);
     switch (state_) {
@@ -257,6 +259,10 @@ void IlConv::CloseUser() {
       case State::kClosed:
         break;
     }
+    hangup = std::exchange(hangup_pending_, false);
+  }
+  if (hangup) {
+    CompleteHangup();
   }
   ready_.Wakeup();
   window_.Wakeup();
@@ -269,19 +275,30 @@ void IlConv::CloseUser() {
 }
 
 void IlConv::HangupLocked() {
-  stream_->Hangup();
+  // Not stream_->Hangup() here: that takes the stream chain lock, which the
+  // user write path holds while acquiring lock_.  Callers drain the flag
+  // once lock_ is dropped.
+  hangup_pending_ = true;
   err_ = err_.empty() ? std::string(kErrClosed) : err_;
   if (timer_ != kNoTimer) {
     TimerWheel::Default().Cancel(timer_);
     timer_ = kNoTimer;
   }
+}
+
+void IlConv::CompleteHangup() {
+  stream_->Hangup();
+  // Publish the slot only now: AllocConv may Recycle() a free slot, which
+  // replaces stream_ — that must not happen while the old stream is still
+  // delivering the hangup.
+  QLockGuard guard(lock_);
   slot_free_ = true;
 }
 
 Status IlConv::SendMessage(const Bytes& payload) {
   QLockGuard guard(lock_);
   // Window flow control: the user's writing process sleeps until space.
-  window_.Sleep(guard, [&] {
+  window_.Sleep(lock_, [&]() REQUIRES(lock_) {
     return state_ != State::kEstablished || unacked_.size() < kWindow;
   });
   if (state_ != State::kEstablished) {
@@ -394,6 +411,11 @@ void IlConv::TimerFire() {
     case State::kClosed:
       break;
   }
+  bool hangup = std::exchange(hangup_pending_, false);
+  guard.Unlock();
+  if (hangup) {
+    CompleteHangup();
+  }
   ready_.Wakeup();
   window_.Wakeup();
 }
@@ -462,6 +484,7 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
                    Bytes payload) {
   std::vector<BlockPtr> deliveries;
   bool wake_ready = false;
+  bool hangup = false;
   {
     QLockGuard guard(lock_);
     switch (state_) {
@@ -579,9 +602,13 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
         }
         break;
     }
+    hangup = std::exchange(hangup_pending_, false);
   }
   for (auto& b : deliveries) {
     stream_->DeliverUp(std::move(b));
+  }
+  if (hangup) {
+    CompleteHangup();
   }
   if (wake_ready) {
     ready_.Wakeup();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/base/rand.h"
+#include "src/base/thread_annotations.h"
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
@@ -97,59 +98,67 @@ class IlConv : public NetConv {
     bool retransmitted = false;
   };
 
-  // All Locked() methods assume lock_ held.
+  // Locked() methods require lock_ held, enforced by the analysis.
   Status StartConnect(const HostPort& dest);
   Status SendMessage(const Bytes& payload);      // user data path
   void Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint32_t ack,
              Bytes payload);
-  void HandleAckLocked(uint32_t ack);
+  void HandleAckLocked(uint32_t ack) REQUIRES(lock_);
   void DeliverDataLocked(uint32_t id, Bytes payload, bool is_query,
-                         std::vector<BlockPtr>* deliveries);
-  Status EmitLocked(IlType type, uint32_t id, uint32_t ack, const Bytes& payload);
-  void ArmTimerLocked(std::chrono::microseconds delay);
+                         std::vector<BlockPtr>* deliveries) REQUIRES(lock_);
+  Status EmitLocked(IlType type, uint32_t id, uint32_t ack, const Bytes& payload)
+      REQUIRES(lock_);
+  void ArmTimerLocked(std::chrono::microseconds delay) REQUIRES(lock_);
   void TimerFire();
-  std::chrono::microseconds RtoLocked() const;
-  void RttSampleLocked(std::chrono::microseconds sample);
-  void HangupLocked();
+  std::chrono::microseconds RtoLocked() const REQUIRES(lock_);
+  void RttSampleLocked(std::chrono::microseconds sample) REQUIRES(lock_);
+  void HangupLocked() REQUIRES(lock_);
+  void CompleteHangup();  // drains hangup_pending_: stream hangup, then free the slot
   void Recycle();
 
   IlProto* proto_;
-  QLock lock_;
+  // Conversation lock: ordered after il.proto (demux holds both), before
+  // stream.queue (delivery) and timer (ArmTimerLocked).
+  QLock lock_{"il.conv"};
   Rendez ready_;     // connect handshake completion
   Rendez window_;    // sender window space
   Rendez incoming_;  // pending calls on a listening conv
 
-  State state_ = State::kClosed;
-  bool slot_free_ = true;  // available for Clone()
-  bool dying_ = false;     // proto teardown: never re-arm the timer
+  State state_ GUARDED_BY(lock_) = State::kClosed;
+  bool slot_free_ GUARDED_BY(lock_) = true;  // available for Clone()
+  bool dying_ GUARDED_BY(lock_) = false;     // proto teardown: never re-arm the timer
+  // Set by HangupLocked; drained by callers *after* dropping lock_, because
+  // Stream::Hangup takes the stream chain lock, which the write path holds
+  // while taking lock_ (the opposite order).
+  bool hangup_pending_ GUARDED_BY(lock_) = false;
 
-  Ipv4Addr laddr_, raddr_;
-  uint16_t lport_ = 0, rport_ = 0;
+  Ipv4Addr laddr_ GUARDED_BY(lock_), raddr_ GUARDED_BY(lock_);
+  uint16_t lport_ GUARDED_BY(lock_) = 0, rport_ GUARDED_BY(lock_) = 0;
 
   // Send side.
-  uint32_t start_ = 0;  // initial sequence chosen at handshake
-  uint32_t next_ = 0;   // id of the next message to send
-  std::deque<Unacked> unacked_;
+  uint32_t start_ GUARDED_BY(lock_) = 0;  // initial sequence chosen at handshake
+  uint32_t next_ GUARDED_BY(lock_) = 0;   // id of the next message to send
+  std::deque<Unacked> unacked_ GUARDED_BY(lock_);
 
   // Receive side.
-  uint32_t rstart_ = 0;
-  uint32_t recvd_ = 0;  // highest in-sequence id received
-  std::map<uint32_t, Bytes> out_of_order_;
+  uint32_t rstart_ GUARDED_BY(lock_) = 0;
+  uint32_t recvd_ GUARDED_BY(lock_) = 0;  // highest in-sequence id received
+  std::map<uint32_t, Bytes> out_of_order_ GUARDED_BY(lock_);
 
   // Adaptive timing (§3: "a round-trip timer is used to calculate
   // acknowledge and retransmission times in terms of the network speed").
-  std::chrono::microseconds srtt_{0};
-  std::chrono::microseconds mdev_{0};
-  int backoff_ = 0;
-  TimerId timer_ = kNoTimer;
-  TimerWheel::Clock::time_point last_rexmit_{};
-  uint32_t last_rexmit_id_ = 0;
-  int sync_tries_ = 0;
-  int close_tries_ = 0;
+  std::chrono::microseconds srtt_ GUARDED_BY(lock_){0};
+  std::chrono::microseconds mdev_ GUARDED_BY(lock_){0};
+  int backoff_ GUARDED_BY(lock_) = 0;
+  TimerId timer_ GUARDED_BY(lock_) = kNoTimer;
+  TimerWheel::Clock::time_point last_rexmit_ GUARDED_BY(lock_){};
+  uint32_t last_rexmit_id_ GUARDED_BY(lock_) = 0;
+  int sync_tries_ GUARDED_BY(lock_) = 0;
+  int close_tries_ GUARDED_BY(lock_) = 0;
 
-  std::deque<int> pending_;  // incoming calls (listening conv)
-  std::string err_;          // why the conversation died
-  IlConvStats stats_;
+  std::deque<int> pending_ GUARDED_BY(lock_);  // incoming calls (listening conv)
+  std::string err_ GUARDED_BY(lock_);          // why the conversation died
+  IlConvStats stats_ GUARDED_BY(lock_);
 };
 
 class IlProto : public NetProto {
@@ -173,10 +182,10 @@ class IlProto : public NetProto {
                         uint32_t peer_id, IlConv* listener);
 
   IpStack* ip_;
-  QLock lock_;
-  std::vector<std::unique_ptr<IlConv>> convs_;
-  PortAlloc ports_;
-  Rng isn_rng_{0xc0ffee};
+  QLock lock_{"il.proto"};
+  std::vector<std::unique_ptr<IlConv>> convs_ GUARDED_BY(lock_);
+  PortAlloc ports_ GUARDED_BY(lock_);
+  Rng isn_rng_ GUARDED_BY(lock_){0xc0ffee};
 };
 
 }  // namespace plan9

@@ -78,11 +78,11 @@ struct IpStack::Reassembly {
   uint8_t proto = 0, ttl = 0;
 };
 
-IpStack::IpStack() : alive_(std::make_shared<bool>(true)) {
+IpStack::IpStack() : alive_(std::make_shared<std::atomic<bool>>(true)) {
   auto alive = alive_;
   // Periodic reassembly-buffer sweep.
   std::function<void()> arm = [this, alive]() {
-    if (!*alive) {
+    if (!alive->load()) {
       return;
     }
     SweepReassembly();
@@ -91,8 +91,13 @@ IpStack::IpStack() : alive_(std::make_shared<bool>(true)) {
 }
 
 IpStack::~IpStack() {
-  *alive_ = false;
-  TimerWheel::Default().Cancel(sweep_timer_);
+  alive_->store(false);
+  TimerId sweep;
+  {
+    QLockGuard guard(lock_);
+    sweep = sweep_timer_;
+  }
+  TimerWheel::Default().Cancel(sweep);
   {
     QLockGuard guard(lock_);
     for (auto& ifc : interfaces_) {
@@ -122,11 +127,13 @@ void IpStack::SweepReassembly() {
     }
   }
   auto alive = alive_;
-  sweep_timer_ = TimerWheel::Default().Schedule(kReassemblyTimeout, [this, alive] {
-    if (*alive) {
+  TimerId next = TimerWheel::Default().Schedule(kReassemblyTimeout, [this, alive] {
+    if (alive->load()) {
       SweepReassembly();
     }
   });
+  QLockGuard guard(lock_);
+  sweep_timer_ = next;
 }
 
 int IpStack::AddEtherInterface(EtherSegment* segment, MacAddr mac, Ipv4Addr addr,
@@ -522,7 +529,7 @@ void IpStack::IpInput(size_t ifc_index, const Bytes& raw) {
       whole.payload.insert(whole.payload.end(), data.begin(), data.end());
     }
     reassembly_.erase(key);
-    guard.native().unlock();
+    guard.Unlock();
     Deliver(whole);
     return;
   }

@@ -7,12 +7,14 @@
 #ifndef SRC_INET_IP_H_
 #define SRC_INET_IP_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/thread_annotations.h"
 #include "src/inet/ipaddr.h"
 #include "src/sim/ether_segment.h"
 #include "src/sim/wire.h"
@@ -74,7 +76,10 @@ class IpStack {
   // Longest-prefix-match route; gateway 0 means directly attached.
   void AddRoute(Ipv4Addr dest, Ipv4Addr mask, Ipv4Addr gateway, int ifc_index);
   void SetDefaultGateway(Ipv4Addr gateway);
-  void EnableForwarding(bool on) { forwarding_ = on; }
+  void EnableForwarding(bool on) {
+    QLockGuard guard(lock_);
+    forwarding_ = on;
+  }
 
   // --- transports ----------------------------------------------------------
 
@@ -106,19 +111,24 @@ class IpStack {
   Status Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl, const Bytes& payload);
   Status SendOnInterface(Interface& ifc, Ipv4Addr next_hop, const Bytes& ip_packet);
   void ArpInput(size_t ifc_index, const EtherFrame& frame);
-  Result<const Route*> Lookup(Ipv4Addr dst);
+  Result<const Route*> Lookup(Ipv4Addr dst) REQUIRES(lock_);
   void SweepReassembly();
 
-  QLock lock_;
-  std::vector<std::unique_ptr<Interface>> interfaces_;
-  std::vector<Route> routes_;
-  std::map<uint8_t, ProtoHandler> protocols_;
-  std::map<uint64_t, Reassembly> reassembly_;  // key: src<<32 | ident<<8 | proto
-  uint16_t next_ident_ = 1;
-  bool forwarding_ = false;
-  IpStats stats_;
-  TimerId sweep_timer_ = kNoTimer;
-  std::shared_ptr<bool> alive_;
+  // Ordered before the protocol locks' media sends and before timer; the
+  // demux path drops it before invoking protocol handlers.
+  QLock lock_{"ip.stack"};
+  std::vector<std::unique_ptr<Interface>> interfaces_ GUARDED_BY(lock_);
+  std::vector<Route> routes_ GUARDED_BY(lock_);
+  std::map<uint8_t, ProtoHandler> protocols_ GUARDED_BY(lock_);
+  // Key: src<<32 | ident<<8 | proto.
+  std::map<uint64_t, Reassembly> reassembly_ GUARDED_BY(lock_);
+  uint16_t next_ident_ GUARDED_BY(lock_) = 1;
+  bool forwarding_ GUARDED_BY(lock_) = false;
+  IpStats stats_ GUARDED_BY(lock_);
+  TimerId sweep_timer_ GUARDED_BY(lock_) = kNoTimer;
+  // Set false in the destructor so in-flight sweep callbacks become no-ops;
+  // the pointer itself is immutable after construction.
+  std::shared_ptr<std::atomic<bool>> alive_;
 };
 
 }  // namespace plan9

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
@@ -192,7 +193,7 @@ Status TcpConv::WaitReady() {
   if (state_ == State::kListen) {
     return Status::Ok();
   }
-  bool done = ready_.SleepFor(guard, std::chrono::seconds(15), [&] {
+  bool done = ready_.SleepFor(lock_, std::chrono::seconds(15), [&]() REQUIRES(lock_) {
     return state_ == State::kEstablished || state_ == State::kClosed ||
            state_ == State::kCloseWait;
   });
@@ -210,7 +211,7 @@ Result<int> TcpConv::Listen() {
   if (state_ != State::kListen) {
     return Error("not announced");
   }
-  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  incoming_.Sleep(lock_, [&]() REQUIRES(lock_) { return !pending_.empty() || state_ == State::kClosed; });
   if (state_ == State::kClosed) {
     return Error(kErrHungup);
   }
@@ -247,6 +248,7 @@ TcpConvStats TcpConv::stats() {
 
 void TcpConv::CloseUser() {
   std::deque<int> orphans;
+  bool hangup = false;
   {
     QLockGuard guard(lock_);
     switch (state_) {
@@ -273,6 +275,10 @@ void TcpConv::CloseUser() {
       default:
         break;
     }
+    hangup = std::exchange(hangup_pending_, false);
+  }
+  if (hangup) {
+    CompleteHangup();
   }
   ready_.Wakeup();
   sendbuf_space_.Wakeup();
@@ -290,11 +296,22 @@ void TcpConv::ResetLocked(const std::string& why) {
   }
   state_ = State::kClosed;
   send_buf_.clear();
-  stream_->Hangup();
+  // Not stream_->Hangup() here: that takes the stream chain lock, which the
+  // user write path holds while acquiring lock_.  Callers drain the flag
+  // once lock_ is dropped.
+  hangup_pending_ = true;
   if (timer_ != kNoTimer) {
     TimerWheel::Default().Cancel(timer_);
     timer_ = kNoTimer;
   }
+}
+
+void TcpConv::CompleteHangup() {
+  stream_->Hangup();
+  // Publish the slot only now: AllocConv may Recycle() a free slot, which
+  // replaces stream_ — that must not happen while the old stream is still
+  // delivering the hangup.
+  QLockGuard guard(lock_);
   slot_free_ = true;
 }
 
@@ -302,7 +319,7 @@ Status TcpConv::QueueBytes(const uint8_t* data, size_t n) {
   size_t queued = 0;
   while (queued < n) {
     QLockGuard guard(lock_);
-    sendbuf_space_.Sleep(guard, [&] {
+    sendbuf_space_.Sleep(lock_, [&]() REQUIRES(lock_) {
       return send_buf_.size() < kSendBufMax ||
              (state_ != State::kEstablished && state_ != State::kCloseWait);
     });
@@ -450,6 +467,11 @@ void TcpConv::TimerFire() {
     default:
       break;
   }
+  bool hangup = std::exchange(hangup_pending_, false);
+  guard.Unlock();
+  if (hangup) {
+    CompleteHangup();
+  }
   ready_.Wakeup();
   sendbuf_space_.Wakeup();
 }
@@ -567,12 +589,18 @@ void TcpConv::Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack,
                     uint16_t flags, uint16_t wnd, Bytes payload) {
   std::vector<BlockPtr> deliveries;
   bool hangup_stream = false;
+  bool hangup_reset = false;
   {
     QLockGuard guard(lock_);
     stats_.segs_received++;
     if (flags & kRst) {
       if (state_ != State::kClosed && state_ != State::kListen) {
         ResetLocked(state_ == State::kSynSent ? kErrConnRefused : "connection reset");
+      }
+      bool hangup = std::exchange(hangup_pending_, false);
+      guard.Unlock();
+      if (hangup) {
+        CompleteHangup();
       }
       ready_.Wakeup();
       sendbuf_space_.Wakeup();
@@ -608,13 +636,13 @@ void TcpConv::Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack,
           }
           // Tell the listener a call is ready for Listen()/accept.
           if (TcpConv* listener = listener_backref_; listener != nullptr) {
-            guard.native().unlock();
+            guard.Unlock();
             {
               QLockGuard lguard(listener->lock_);
               listener->pending_.push_back(index_);
             }
             listener->incoming_.Wakeup();
-            guard.native().lock();
+            guard.Lock();
           }
           ready_.Wakeup();
           // The handshake ACK may carry data; fall through is emulated by
@@ -682,11 +710,14 @@ void TcpConv::Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack,
       case State::kClosed:
         break;
     }
+    hangup_reset = std::exchange(hangup_pending_, false);
   }
   for (auto& b : deliveries) {
     stream_->DeliverUp(std::move(b));
   }
-  if (hangup_stream) {
+  if (hangup_reset) {
+    CompleteHangup();
+  } else if (hangup_stream) {
     // Peer sent FIN: readers see EOF once queued data drains.
     stream_->Hangup();
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/base/rand.h"
+#include "src/base/thread_annotations.h"
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
@@ -84,63 +85,72 @@ class TcpConv : public NetConv {
   Status QueueBytes(const uint8_t* data, size_t n);  // user data path
   void Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack, uint16_t flags,
              uint16_t wnd, Bytes payload);
-  void TrySendLocked();
-  void EmitLocked(uint16_t flags, uint32_t seq, size_t payload_off, size_t payload_len);
-  void RetransmitLocked();
-  void ProcessAckLocked(uint32_t ack, uint16_t wnd);
+  void TrySendLocked() REQUIRES(lock_);
+  void EmitLocked(uint16_t flags, uint32_t seq, size_t payload_off, size_t payload_len)
+      REQUIRES(lock_);
+  void RetransmitLocked() REQUIRES(lock_);
+  void ProcessAckLocked(uint32_t ack, uint16_t wnd) REQUIRES(lock_);
   void ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
-                         std::vector<BlockPtr>* deliveries, bool* peer_closed);
-  void EnterTimeWaitLocked();
-  void ResetLocked(const std::string& why);
-  void ArmTimerLocked(std::chrono::microseconds delay);
+                         std::vector<BlockPtr>* deliveries, bool* peer_closed)
+      REQUIRES(lock_);
+  void EnterTimeWaitLocked() REQUIRES(lock_);
+  void ResetLocked(const std::string& why) REQUIRES(lock_);
+  void CompleteHangup();  // drains hangup_pending_: stream hangup, then free the slot
+  void ArmTimerLocked(std::chrono::microseconds delay) REQUIRES(lock_);
   void TimerFire();
-  std::chrono::microseconds RtoLocked() const;
-  void RttSampleLocked(std::chrono::microseconds sample);
-  void MaybeSendFinLocked();
+  std::chrono::microseconds RtoLocked() const REQUIRES(lock_);
+  void RttSampleLocked(std::chrono::microseconds sample) REQUIRES(lock_);
+  void MaybeSendFinLocked() REQUIRES(lock_);
   void Recycle();
-  const char* StateNameLocked() const;
+  const char* StateNameLocked() const REQUIRES(lock_);
 
   TcpProto* proto_;
-  QLock lock_;
+  // Conversation lock: ordered after tcp.proto (demux holds both), before
+  // stream.queue (delivery) and timer (ArmTimerLocked).
+  QLock lock_{"tcp.conv"};
   Rendez ready_;
   Rendez sendbuf_space_;
   Rendez incoming_;
 
-  State state_ = State::kClosed;
-  bool slot_free_ = true;
-  bool dying_ = false;  // proto teardown: never re-arm the timer
+  State state_ GUARDED_BY(lock_) = State::kClosed;
+  bool slot_free_ GUARDED_BY(lock_) = true;
+  bool dying_ GUARDED_BY(lock_) = false;  // proto teardown: never re-arm the timer
+  // Set by ResetLocked; drained by callers *after* dropping lock_, because
+  // Stream::Hangup takes the stream chain lock, which the write path holds
+  // while taking lock_ (the opposite order).
+  bool hangup_pending_ GUARDED_BY(lock_) = false;
 
-  Ipv4Addr laddr_, raddr_;
-  uint16_t lport_ = 0, rport_ = 0;
+  Ipv4Addr laddr_ GUARDED_BY(lock_), raddr_ GUARDED_BY(lock_);
+  uint16_t lport_ GUARDED_BY(lock_) = 0, rport_ GUARDED_BY(lock_) = 0;
 
   // Send sequence space.  send_buf_ holds bytes [snd_una, snd_una+size).
-  uint32_t iss_ = 0;
-  uint32_t snd_una_ = 0;
-  uint32_t snd_nxt_ = 0;
-  uint32_t snd_wnd_ = kSendWindow;
-  std::deque<uint8_t> send_buf_;
-  bool fin_pending_ = false;  // user closed; FIN goes out after the buffer
-  bool fin_sent_ = false;
-  TimerWheel::Clock::time_point rtt_seg_sent_;
-  uint32_t rtt_seg_seq_ = 0;  // sequence being timed (0 = none)
-  bool rtt_timing_ = false;
+  uint32_t iss_ GUARDED_BY(lock_) = 0;
+  uint32_t snd_una_ GUARDED_BY(lock_) = 0;
+  uint32_t snd_nxt_ GUARDED_BY(lock_) = 0;
+  uint32_t snd_wnd_ GUARDED_BY(lock_) = kSendWindow;
+  std::deque<uint8_t> send_buf_ GUARDED_BY(lock_);
+  bool fin_pending_ GUARDED_BY(lock_) = false;  // user closed; FIN after the buffer
+  bool fin_sent_ GUARDED_BY(lock_) = false;
+  TimerWheel::Clock::time_point rtt_seg_sent_ GUARDED_BY(lock_);
+  uint32_t rtt_seg_seq_ GUARDED_BY(lock_) = 0;  // sequence being timed (0 = none)
+  bool rtt_timing_ GUARDED_BY(lock_) = false;
 
   // Receive sequence space.
-  uint32_t irs_ = 0;
-  uint32_t rcv_nxt_ = 0;
-  std::map<uint32_t, Bytes> out_of_order_;
-  bool fin_received_ = false;
+  uint32_t irs_ GUARDED_BY(lock_) = 0;
+  uint32_t rcv_nxt_ GUARDED_BY(lock_) = 0;
+  std::map<uint32_t, Bytes> out_of_order_ GUARDED_BY(lock_);
+  bool fin_received_ GUARDED_BY(lock_) = false;
 
-  std::chrono::microseconds srtt_{0};
-  std::chrono::microseconds mdev_{0};
-  int backoff_ = 0;
-  TimerId timer_ = kNoTimer;
-  int handshake_tries_ = 0;
+  std::chrono::microseconds srtt_ GUARDED_BY(lock_){0};
+  std::chrono::microseconds mdev_ GUARDED_BY(lock_){0};
+  int backoff_ GUARDED_BY(lock_) = 0;
+  TimerId timer_ GUARDED_BY(lock_) = kNoTimer;
+  int handshake_tries_ GUARDED_BY(lock_) = 0;
 
-  std::deque<int> pending_;
-  TcpConv* listener_backref_ = nullptr;  // conv that spawned us (for accept)
-  std::string err_;
-  TcpConvStats stats_;
+  std::deque<int> pending_ GUARDED_BY(lock_);
+  TcpConv* listener_backref_ GUARDED_BY(lock_) = nullptr;  // spawning conv (accept)
+  std::string err_ GUARDED_BY(lock_);
+  TcpConvStats stats_ GUARDED_BY(lock_);
 };
 
 class TcpProto : public NetProto {
@@ -165,10 +175,10 @@ class TcpProto : public NetProto {
   void SendRst(Ipv4Addr src, Ipv4Addr dst, uint16_t sport, uint16_t dport, uint32_t ack);
 
   IpStack* ip_;
-  QLock lock_;
-  std::vector<std::unique_ptr<TcpConv>> convs_;
-  PortAlloc ports_;
-  Rng isn_rng_{0xfeedface};
+  QLock lock_{"tcp.proto"};
+  std::vector<std::unique_ptr<TcpConv>> convs_ GUARDED_BY(lock_);
+  PortAlloc ports_ GUARDED_BY(lock_);
+  Rng isn_rng_ GUARDED_BY(lock_){0xfeedface};
 };
 
 }  // namespace plan9

@@ -132,7 +132,7 @@ Result<int> UdpConv::Listen() {
   if (state_ != State::kAnnounced) {
     return Error("not announced");
   }
-  incoming_.Sleep(guard, [&] { return !pending_.empty() || state_ == State::kClosed; });
+  incoming_.Sleep(lock_, [&]() REQUIRES(lock_) { return !pending_.empty() || state_ == State::kClosed; });
   if (state_ == State::kClosed) {
     return Error(kErrHungup);
   }

@@ -18,6 +18,7 @@
 
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
+#include "src/base/thread_annotations.h"
 #include "src/inet/portutil.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
@@ -51,12 +52,14 @@ class UdpConv : public NetConv {
   void Recycle();
 
   UdpProto* proto_;
-  QLock lock_;
+  // Ordered after udp.proto (FindOrSpawn/AllocConv hold both).
+  QLock lock_{"udp.conv"};
   Rendez incoming_;
-  State state_ = State::kIdle;
-  Ipv4Addr laddr_, raddr_;
-  uint16_t lport_ = 0, rport_ = 0;
-  std::deque<int> pending_;  // conversations spawned by unseen sources
+  State state_ GUARDED_BY(lock_) = State::kIdle;
+  Ipv4Addr laddr_ GUARDED_BY(lock_), raddr_ GUARDED_BY(lock_);
+  uint16_t lport_ GUARDED_BY(lock_) = 0, rport_ GUARDED_BY(lock_) = 0;
+  // Conversations spawned by unseen sources.
+  std::deque<int> pending_ GUARDED_BY(lock_);
 };
 
 class UdpProto : public NetProto {
@@ -79,9 +82,9 @@ class UdpProto : public NetProto {
   Result<UdpConv*> AllocConv();
 
   IpStack* ip_;
-  QLock lock_;
-  std::vector<std::unique_ptr<UdpConv>> convs_;
-  PortAlloc ports_;
+  QLock lock_{"udp.proto"};
+  std::vector<std::unique_ptr<UdpConv>> convs_ GUARDED_BY(lock_);
+  PortAlloc ports_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

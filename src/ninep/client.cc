@@ -86,7 +86,7 @@ Result<Fcall> NinepClient::Rpc(Fcall tx) {
   }
   {
     QLockGuard guard(lock_);
-    waiter->done.Sleep(guard, [&] { return waiter->have_reply; });
+    waiter->done.Sleep(lock_, [&]() REQUIRES(lock_) { return waiter->have_reply; });
   }
   if (waiter->reply.type == FcallType::kRerror) {
     return Error(waiter->reply.ename);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/ninep/fcall.h"
 #include "src/ninep/transport.h"
 #include "src/task/kproc.h"
@@ -63,15 +64,15 @@ class NinepClient {
   };
 
   void ReaderLoop();
-  void FailAllLocked(const std::string& why);
+  void FailAllLocked(const std::string& why) REQUIRES(lock_);
 
   std::unique_ptr<MsgTransport> transport_;
-  QLock lock_;
-  std::map<uint16_t, std::shared_ptr<Pending>> pending_;
-  uint16_t next_tag_ = 1;
-  uint32_t next_fid_ = 1;
-  bool dead_ = false;
-  std::string death_reason_;
+  QLock lock_{"9p.client"};
+  std::map<uint16_t, std::shared_ptr<Pending>> pending_ GUARDED_BY(lock_);
+  uint16_t next_tag_ GUARDED_BY(lock_) = 1;
+  uint32_t next_fid_ GUARDED_BY(lock_) = 1;
+  bool dead_ GUARDED_BY(lock_) = false;
+  std::string death_reason_ GUARDED_BY(lock_);
   Kproc reader_;
 };
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "src/base/thread_annotations.h"
 #include "src/ninep/server.h"
 #include "src/task/qlock.h"
 
@@ -32,9 +33,9 @@ class RamFs : public Vfs {
   struct Node;
 
   // Implementation state, public for the file-local RamVnode class.
-  QLock lock_;  // one lock for the whole tree (simple and safe)
-  std::shared_ptr<Node> root_;
-  uint32_t next_path_ = 1;
+  QLock lock_{"ramfs"};  // one lock for the whole tree (simple and safe)
+  std::shared_ptr<Node> root_;  // pointer set in the ctor; tree under lock_
+  uint32_t next_path_ GUARDED_BY(lock_) = 1;
 };
 
 }  // namespace plan9

@@ -87,7 +87,7 @@ void NinepServer::Worker() {
     Fcall req;
     {
       QLockGuard guard(lock_);
-      work_ready_.Sleep(guard, [&] { return stopping_ || !work_.empty(); });
+      work_ready_.Sleep(lock_, [&]() REQUIRES(lock_) { return stopping_ || !work_.empty(); });
       if (work_.empty()) {
         return;  // stopping
       }
@@ -151,7 +151,7 @@ void NinepServer::Dispatch(Fcall req) {
       if (outstanding_.count(req.oldtag) != 0) {
         flushed_.insert(req.oldtag);
       }
-      guard.native().unlock();
+      guard.Unlock();
       Reply(reply);
       return;
     }
@@ -164,7 +164,7 @@ void NinepServer::Dispatch(Fcall req) {
       {
         QLockGuard guard(lock_);
         if (fids_.count(req.fid) != 0) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, "fid in use");
           return;
         }
@@ -178,22 +178,22 @@ void NinepServer::Dispatch(Fcall req) {
       QLockGuard guard(lock_);
       auto fs = GetFidLocked(req.fid);
       if (!fs.ok()) {
-        guard.native().unlock();
+        guard.Unlock();
         ReplyError(req.tag, fs.error().message());
         return;
       }
       if ((*fs)->open) {
-        guard.native().unlock();
+        guard.Unlock();
         ReplyError(req.tag, "cannot clone open fid");
         return;
       }
       if (fids_.count(req.newfid) != 0) {
-        guard.native().unlock();
+        guard.Unlock();
         ReplyError(req.tag, "fid in use");
         return;
       }
       fids_[req.newfid] = **fs;
-      guard.native().unlock();
+      guard.Unlock();
       Reply(reply);
       return;
     }
@@ -205,14 +205,14 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }
         node = (*fs)->node;
         user = (*fs)->user;
         if (req.type == FcallType::kTclwalk && fids_.count(req.newfid) != 0) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, "fid in use");
           return;
         }
@@ -238,7 +238,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }
@@ -269,7 +269,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }
@@ -295,7 +295,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok() || !(*fs)->open) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.ok() ? "fid not open" : fs.error().message());
           return;
         }
@@ -316,7 +316,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok() || !(*fs)->open) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.ok() ? "fid not open" : fs.error().message());
           return;
         }
@@ -340,7 +340,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }
@@ -368,7 +368,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }
@@ -389,7 +389,7 @@ void NinepServer::Dispatch(Fcall req) {
         QLockGuard guard(lock_);
         auto fs = GetFidLocked(req.fid);
         if (!fs.ok()) {
-          guard.native().unlock();
+          guard.Unlock();
           ReplyError(req.tag, fs.error().message());
           return;
         }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/ninep/fcall.h"
 #include "src/ninep/transport.h"
 #include "src/task/kproc.h"
@@ -95,19 +96,22 @@ class NinepServer {
   void Dispatch(Fcall req);
   void Reply(const Fcall& reply);
   void ReplyError(uint16_t tag, const std::string& ename);
-  Result<FidState*> GetFidLocked(uint32_t fid);
+  Result<FidState*> GetFidLocked(uint32_t fid) REQUIRES(lock_);
 
   Vfs* vfs_;
   std::unique_ptr<MsgTransport> transport_;
-  QLock write_lock_;  // serializes replies
+  // Serializes replies onto the transport; never held with lock_ (Reply
+  // drops lock_ before packing and writing).
+  QLock write_lock_{"9p.server.write"};
 
-  QLock lock_;  // fid table + work queue
-  std::map<uint32_t, FidState> fids_;
-  std::deque<Fcall> work_;
+  QLock lock_{"9p.server"};  // fid table + work queue
+  std::map<uint32_t, FidState> fids_ GUARDED_BY(lock_);
+  std::deque<Fcall> work_ GUARDED_BY(lock_);
   Rendez work_ready_;
-  std::set<uint16_t> flushed_;  // tags whose replies must be suppressed
-  std::set<uint16_t> outstanding_;
-  bool stopping_ = false;
+  // Tags whose replies must be suppressed (Tflush).
+  std::set<uint16_t> flushed_ GUARDED_BY(lock_);
+  std::set<uint16_t> outstanding_ GUARDED_BY(lock_);
+  bool stopping_ GUARDED_BY(lock_) = false;
 
   std::vector<Kproc> workers_;
   Kproc reader_;

@@ -209,6 +209,9 @@ Status Namespace::Unmount(const std::string& oldpath) {
 std::shared_ptr<Namespace> Namespace::Fork() {
   QLockGuard guard(lock_);
   auto copy = std::make_shared<Namespace>(root_fs_);
+  // copy is unshared, but its members are lock-annotated; both locks are the
+  // same class, which the lock-order checker treats as unordered.
+  QLockGuard copy_guard(copy->lock_);
   copy->mounts_ = mounts_;
   copy->sessions_ = sessions_;
   copy->next_dev_id_ = next_dev_id_;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/ninep/client.h"
 #include "src/ninep/ramfs.h"
 #include "src/ns/chan.h"
@@ -83,17 +84,17 @@ class Namespace {
   };
 
   // If c names a mount point, return it with union_stack populated.
-  ChanPtr TranslateLocked(ChanPtr c);
+  ChanPtr TranslateLocked(ChanPtr c) REQUIRES(lock_);
   Result<ChanPtr> WalkOne(const ChanPtr& from, const std::string& elem);
-  Result<ChanPtr> ResolveLocked(const std::string& path);
+  Result<ChanPtr> ResolveLocked(const std::string& path) REQUIRES(lock_);
 
-  QLock lock_;
-  Vfs* root_fs_;
-  ChanPtr root_;
-  std::map<MountKey, std::vector<MountEntry>> mounts_;
+  QLock lock_{"namespace"};
+  Vfs* root_fs_;  // set in the constructor, immutable after
+  ChanPtr root_ GUARDED_BY(lock_);
+  std::map<MountKey, std::vector<MountEntry>> mounts_ GUARDED_BY(lock_);
   // Remote sessions kept alive by the namespace that mounted them.
-  std::vector<std::shared_ptr<NinepClient>> sessions_;
-  uint64_t next_dev_id_ = 1;
+  std::vector<std::shared_ptr<NinepClient>> sessions_ GUARDED_BY(lock_);
+  uint64_t next_dev_id_ GUARDED_BY(lock_) = 1;
 };
 
 // Read a whole directory through a chan, merging union elements: first

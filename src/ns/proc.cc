@@ -208,7 +208,9 @@ Result<size_t> Proc::Read(int fd, void* buf, size_t n) {
       return data.error();
     }
     got = data->size();
-    std::memcpy(buf, data->data(), got);
+    if (got != 0) {  // empty Bytes may have a null data(); memcpy forbids it
+      std::memcpy(buf, data->data(), got);
+    }
   }
   {
     QLockGuard guard(lock_);

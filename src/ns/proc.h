@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/ninep/client.h"
 #include "src/ns/chan.h"
 #include "src/ns/namespace.h"
@@ -94,13 +95,13 @@ class Proc {
     std::shared_ptr<Bytes> dir_image;
   };
 
-  Result<FdEntry*> GetLocked(int fd);
-  int InstallLocked(FdEntry entry);
+  Result<FdEntry*> GetLocked(int fd) REQUIRES(lock_);
+  int InstallLocked(FdEntry entry) REQUIRES(lock_);
 
   std::shared_ptr<Namespace> ns_;
   std::string user_;
-  QLock lock_;
-  std::vector<std::unique_ptr<FdEntry>> fds_;
+  QLock lock_{"proc.fds"};
+  std::vector<std::unique_ptr<FdEntry>> fds_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

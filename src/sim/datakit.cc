@@ -157,7 +157,8 @@ Result<std::shared_ptr<DkCircuit>> DatakitSwitch::Dial(const std::string& from_h
 
   QLockGuard guard(call->lock_);
   bool decided = call->decided_.SleepFor(
-      guard, timeout, [&] { return call->state_ != DkCall::State::kPending; });
+      call->lock_, timeout,
+      [&]() REQUIRES(call->lock_) { return call->state_ != DkCall::State::kPending; });
   if (!decided) {
     return Error(kErrTimedOut);
   }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/base/bytes.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/result.h"
 #include "src/sim/medium.h"
 #include "src/sim/wire.h"
@@ -46,10 +47,10 @@ class DkCircuit {
   void Deliver(End to, Bytes raw);
 
   Wire wire_;
-  QLock lock_;
-  RecvFn recv_[2];
-  HangupFn hangup_[2];
-  bool closed_ = false;
+  QLock lock_{"dk.circuit"};
+  RecvFn recv_[2] GUARDED_BY(lock_);
+  HangupFn hangup_[2] GUARDED_BY(lock_);
+  bool closed_ GUARDED_BY(lock_) = false;
 };
 
 // A pending incoming call, delivered to the callee's listener.
@@ -73,11 +74,11 @@ class DkCall {
   std::string service_;
   LinkParams params_;
 
-  QLock lock_;
+  QLock lock_{"dk.call"};
   Rendez decided_;
-  State state_ = State::kPending;
-  std::string reject_reason_;
-  std::shared_ptr<DkCircuit> circuit_;
+  State state_ GUARDED_BY(lock_) = State::kPending;
+  std::string reject_reason_ GUARDED_BY(lock_);
+  std::shared_ptr<DkCircuit> circuit_ GUARDED_BY(lock_);
 };
 
 class DatakitSwitch {
@@ -100,9 +101,9 @@ class DatakitSwitch {
   size_t host_count();
 
  private:
-  QLock lock_;
+  QLock lock_{"dk.switch"};
   LinkParams circuit_params_;
-  std::vector<std::pair<std::string, CallFn>> hosts_;
+  std::vector<std::pair<std::string, CallFn>> hosts_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/rand.h"
 #include "src/base/result.h"
 #include "src/sim/medium.h"
@@ -69,14 +70,16 @@ class EtherSegment {
     bool promiscuous = false;
   };
   struct Shared {
-    QLock lock;
-    LinkParams params;
-    Rng rng{1};
-    TimerWheel::Clock::time_point busy_until;
-    MediaStats stats;
-    std::vector<Station> stations;
-    StationId next_id = 1;
-    bool down = false;
+    // A leaf lock: held only across bookkeeping; delivery callbacks run
+    // with it dropped.
+    QLock lock{"sim.ether"};
+    LinkParams params GUARDED_BY(lock);
+    Rng rng GUARDED_BY(lock){1};
+    TimerWheel::Clock::time_point busy_until GUARDED_BY(lock);
+    MediaStats stats GUARDED_BY(lock);
+    std::vector<Station> stations GUARDED_BY(lock);
+    StationId next_id GUARDED_BY(lock) = 1;
+    bool down GUARDED_BY(lock) = false;
   };
 
   std::shared_ptr<Shared> shared_;

@@ -8,9 +8,11 @@ namespace plan9 {
 
 // Shared state outlives the Wire so in-flight timer callbacks stay valid.
 struct Wire::Shared {
-  QLock lock;
-  Direction dirs[2];  // dirs[kA] = A->B, dirs[kB] = B->A
-  bool cut = false;
+  // A leaf lock: held only across bookkeeping; delivery callbacks run with
+  // it dropped.
+  QLock lock{"sim.wire"};
+  Direction dirs[2] GUARDED_BY(lock);  // dirs[kA] = A->B, dirs[kB] = B->A
+  bool cut GUARDED_BY(lock) = false;
 };
 
 Wire::Wire(LinkParams a_to_b, LinkParams b_to_a) : shared_(std::make_shared<Shared>()) {

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/base/bytes.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/rand.h"
 #include "src/base/result.h"
 #include "src/sim/medium.h"

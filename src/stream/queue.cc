@@ -5,7 +5,7 @@ namespace plan9 {
 Status Queue::Put(BlockPtr b) {
   {
     QLockGuard guard(lock_);
-    can_write_.Sleep(guard, [&] { return closed_ || bytes_ <= limit_; });
+    can_write_.Sleep(lock_, [&]() REQUIRES(lock_) { return closed_ || bytes_ <= limit_; });
     if (closed_) {
       return Error(kErrHungup);
     }
@@ -48,7 +48,7 @@ BlockPtr Queue::Get() {
   BlockPtr b;
   {
     QLockGuard guard(lock_);
-    can_read_.Sleep(guard, [&] { return closed_ || !blocks_.empty(); });
+    can_read_.Sleep(lock_, [&]() REQUIRES(lock_) { return closed_ || !blocks_.empty(); });
     if (blocks_.empty()) {
       return nullptr;  // closed and drained
     }
@@ -77,7 +77,7 @@ BlockPtr Queue::GetNoWait() {
 
 bool Queue::WaitNonEmpty() {
   QLockGuard guard(lock_);
-  can_read_.Sleep(guard, [&] { return closed_ || !blocks_.empty(); });
+  can_read_.Sleep(lock_, [&]() REQUIRES(lock_) { return closed_ || !blocks_.empty(); });
   return !blocks_.empty();
 }
 

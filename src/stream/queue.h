@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/stream/block.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
@@ -57,14 +58,17 @@ class Queue {
   bool HasRoom();
 
  private:
-  QLock lock_;
+  // Queue locks order *after* the stream read lock and after conversation
+  // locks (input paths put while holding conversation state); they are
+  // leaves apart from the timer — kick_ runs with lock_ dropped.
+  QLock lock_{"stream.queue"};
   Rendez can_read_;
   Rendez can_write_;
-  std::deque<BlockPtr> blocks_;
-  size_t bytes_ = 0;
-  size_t limit_;
-  bool closed_ = false;
-  std::function<void()> kick_;
+  std::deque<BlockPtr> blocks_ GUARDED_BY(lock_);
+  size_t bytes_ GUARDED_BY(lock_) = 0;
+  const size_t limit_;
+  bool closed_ GUARDED_BY(lock_) = false;
+  const std::function<void()> kick_;
 };
 
 }  // namespace plan9

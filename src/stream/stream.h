@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/stream/block.h"
 #include "src/stream/queue.h"
 #include "src/task/qlock.h"
@@ -86,8 +87,8 @@ class ModuleRegistry {
   std::unique_ptr<StreamModule> Create(const std::string& name);
 
  private:
-  QLock lock_;
-  std::vector<std::pair<std::string, Factory>> factories_;
+  QLock lock_{"stream.modreg"};
+  std::vector<std::pair<std::string, Factory>> factories_ GUARDED_BY(lock_);
 };
 
 class Stream {
@@ -168,7 +169,9 @@ class Stream {
   std::unique_ptr<StreamModule> head_module_;
 
   Queue head_queue_;
-  QLock read_lock_;  // "A per stream read lock ensures only one process..."
+  // "A per stream read lock ensures only one process..." — serialization
+  // only, guards no members; ordered before the head queue's lock.
+  QLock read_lock_{"stream.read"};
   std::atomic<bool> hungup_{false};
 };
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/task/kproc.h"
 #include "src/task/qlock.h"
 
@@ -57,9 +58,9 @@ class Service {
 
  private:
   std::string name_;
-  QLock lock_;
-  std::vector<Kproc> kprocs_;
-  std::vector<std::function<void()>> stop_fns_;
+  QLock lock_{"svc.service"};
+  std::vector<Kproc> kprocs_ GUARDED_BY(lock_);
+  std::vector<std::function<void()>> stop_fns_ GUARDED_BY(lock_);
 };
 
 }  // namespace plan9

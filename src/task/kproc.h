@@ -21,9 +21,11 @@ class Kproc {
 
   Kproc(Kproc&&) = default;
   Kproc& operator=(Kproc&& other) {
-    Join();
-    name_ = std::move(other.name_);
-    thread_ = std::move(other.thread_);
+    if (this != &other) {  // self-move must not join and clobber the thread
+      Join();
+      name_ = std::move(other.name_);
+      thread_ = std::move(other.thread_);
+    }
     return *this;
   }
 

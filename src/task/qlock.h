@@ -3,38 +3,127 @@
 // Kernel code in the paper serializes stream and protocol state with qlocks
 // and blocks on Rendez conditions while holding them.  We model a QLock as a
 // mutex usable with Rendez (rendez.h); RAII guards are provided.
+//
+// A QLock is a Clang thread-safety *capability*: members declared
+// GUARDED_BY(lock_) can only be touched while it is held, enforced by
+// -Wthread-safety (see src/base/thread_annotations.h and DESIGN.md).
+//
+// Under PLAN9NET_LOCKCHECK every acquisition is also checked at run time
+// against the global lock-order graph (src/task/lockcheck.h).  Locks that
+// share an ordering rule are constructed with a class name, e.g.
+// `QLock lock_{"stream.queue"};`; unnamed locks get a per-instance class.
 #ifndef SRC_TASK_QLOCK_H_
 #define SRC_TASK_QLOCK_H_
 
 #include <mutex>
 
+#include "src/base/thread_annotations.h"
+
+#if defined(PLAN9NET_LOCKCHECK)
+#include <source_location>
+
+#include "src/task/lockcheck.h"
+// Expands to a defaulted parameter capturing the caller's location, so
+// lockcheck reports name acquisition *sites*, not qlock.h line numbers.
+#define P9_LOCK_SITE std::source_location p9_site = std::source_location::current()
+#endif
+
 namespace plan9 {
 
-class QLock {
+class CAPABILITY("qlock") QLock {
  public:
+#if defined(PLAN9NET_LOCKCHECK)
+  QLock() : class_(lockcheck::RegisterInstanceClass()) {}
+  explicit QLock(const char* lock_class)
+      : class_(lockcheck::RegisterClass(lock_class)), named_class_(true) {}
+  ~QLock() {
+    if (!named_class_) {
+      lockcheck::UnregisterInstanceClass(class_);
+    }
+  }
+
+  void Lock(P9_LOCK_SITE) ACQUIRE() {
+    lockcheck::OnAcquire(this, class_, p9_site.file_name(),
+                         static_cast<int>(p9_site.line()));
+    mutex_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockcheck::OnRelease(this);
+    mutex_.unlock();
+  }
+  bool TryLock(P9_LOCK_SITE) TRY_ACQUIRE(true) {
+    if (!mutex_.try_lock()) {
+      return false;
+    }
+    lockcheck::OnTryAcquire(this, class_, p9_site.file_name(),
+                            static_cast<int>(p9_site.line()));
+    return true;
+  }
+
+  // BasicLockable interface, so std::condition_variable_any (Rendez) can
+  // release and re-acquire around a sleep; the lockcheck held stack stays
+  // accurate while the sleeper does not hold the lock.
+  void lock(P9_LOCK_SITE) ACQUIRE() { Lock(p9_site); }
+  void unlock() RELEASE() { Unlock(); }
+#else
   QLock() = default;
+  explicit QLock(const char* /*lock_class*/) {}
+
+  void Lock() ACQUIRE() { mutex_.lock(); }
+  void Unlock() RELEASE() { mutex_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+#endif
+
   QLock(const QLock&) = delete;
   QLock& operator=(const QLock&) = delete;
 
-  void Lock() { mutex_.lock(); }
-  void Unlock() { mutex_.unlock(); }
-  bool TryLock() { return mutex_.try_lock(); }
-
-  // For Rendez and std::unique_lock interop.
-  std::mutex& native() { return mutex_; }
-
  private:
   std::mutex mutex_;
+#if defined(PLAN9NET_LOCKCHECK)
+  lockcheck::ClassId class_;
+  bool named_class_ = false;
+#endif
 };
 
-// RAII holder, Plan 9's `qlock(...); ... qunlock(...)` pairing.
-class QLockGuard {
+// RAII holder, Plan 9's `qlock(...); ... qunlock(...)` pairing.  Relockable:
+// Unlock()/Lock() drop and retake the qlock mid-scope (reply paths that must
+// not hold the session lock across a transport write use this).
+class SCOPED_CAPABILITY QLockGuard {
  public:
-  explicit QLockGuard(QLock& lock) : lock_(lock.native()) {}
-  std::unique_lock<std::mutex>& native() { return lock_; }
+#if defined(PLAN9NET_LOCKCHECK)
+  explicit QLockGuard(QLock& lock, P9_LOCK_SITE) ACQUIRE(lock) : lock_(lock) {
+    lock_.Lock(p9_site);
+  }
+  void Lock(P9_LOCK_SITE) ACQUIRE() {
+    lock_.Lock(p9_site);
+    held_ = true;
+  }
+#else
+  explicit QLockGuard(QLock& lock) ACQUIRE(lock) : lock_(lock) { lock_.Lock(); }
+  void Lock() ACQUIRE() {
+    lock_.Lock();
+    held_ = true;
+  }
+#endif
+  ~QLockGuard() RELEASE() {
+    if (held_) {
+      lock_.Unlock();
+    }
+  }
+  void Unlock() RELEASE() {
+    lock_.Unlock();
+    held_ = false;
+  }
+
+  QLockGuard(const QLockGuard&) = delete;
+  QLockGuard& operator=(const QLockGuard&) = delete;
 
  private:
-  std::unique_lock<std::mutex> lock_;
+  QLock& lock_;
+  bool held_ = true;
 };
 
 }  // namespace plan9

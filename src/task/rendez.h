@@ -3,13 +3,21 @@
 // A kernel process sleeps on a Rendez until a condition holds; interrupt
 // handlers and other kprocs call Wakeup after changing the condition.  The
 // caller holds the QLock protecting the condition state, exactly as in the
-// Plan 9 kernel's sleep(r, cond, arg) idiom.
+// Plan 9 kernel's sleep(r, cond, arg) idiom — and the thread-safety analysis
+// enforces it: Sleep REQUIRES the lock.  The lock is released while sleeping
+// and re-held on return.
+//
+// Sleep predicates run with the lock held, but Clang analyzes a lambda body
+// as its own function; annotate predicates that read guarded state:
+//
+//   can_read_.Sleep(lock_, [&]() REQUIRES(lock_) { return !blocks_.empty(); });
 #ifndef SRC_TASK_RENDEZ_H_
 #define SRC_TASK_RENDEZ_H_
 
 #include <chrono>
 #include <condition_variable>
 
+#include "src/base/thread_annotations.h"
 #include "src/task/qlock.h"
 
 namespace plan9 {
@@ -20,17 +28,27 @@ class Rendez {
   Rendez(const Rendez&) = delete;
   Rendez& operator=(const Rendez&) = delete;
 
-  // Block until pred() is true.  `guard` must hold the QLock protecting the
-  // state pred reads; it is released while sleeping and re-held on return.
+  // Block until pred() is true.  `l` must be the held QLock protecting the
+  // state pred reads.
   template <typename Pred>
-  void Sleep(QLockGuard& guard, Pred pred) {
-    cv_.wait(guard.native(), pred);
+  void Sleep(QLock& l, Pred pred) REQUIRES(l) {
+    cv_.wait(l, pred);
   }
 
-  // As Sleep, with a deadline.  Returns false on timeout.
+  // Block until woken (spurious wakeups possible; callers re-check state).
+  void Sleep(QLock& l) REQUIRES(l) { cv_.wait(l); }
+
+  // As Sleep, with a timeout.  Returns false if it expired with pred false.
   template <typename Pred>
-  bool SleepFor(QLockGuard& guard, std::chrono::nanoseconds timeout, Pred pred) {
-    return cv_.wait_for(guard.native(), timeout, pred);
+  bool SleepFor(QLock& l, std::chrono::nanoseconds timeout, Pred pred) REQUIRES(l) {
+    return cv_.wait_for(l, timeout, pred);
+  }
+
+  // Block until woken or `deadline` passes (callers re-check state).
+  template <typename Clock, typename Duration>
+  void SleepUntil(QLock& l, std::chrono::time_point<Clock, Duration> deadline)
+      REQUIRES(l) {
+    cv_.wait_until(l, deadline);
   }
 
   // Wake all sleepers to re-evaluate their condition.  Plan 9's wakeup wakes
@@ -39,7 +57,9 @@ class Rendez {
   void Wakeup() { cv_.notify_all(); }
 
  private:
-  std::condition_variable cv_;
+  // _any: waits on the QLock itself, so acquisition tracking (lockcheck) and
+  // the capability model see the release/re-acquire around the sleep.
+  std::condition_variable_any cv_;
 };
 
 }  // namespace plan9

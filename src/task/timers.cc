@@ -8,25 +8,28 @@ TimerWheel::TimerWheel() : thread_([this] { Loop(); }) {}
 
 TimerWheel::~TimerWheel() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    QLockGuard guard(lock_);
     stop_ = true;
   }
-  cv_.notify_all();
+  wake_.Wakeup();
   thread_.join();
 }
 
 TimerId TimerWheel::Schedule(Clock::duration delay, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TimerId id = next_id_++;
-  Clock::time_point when = Clock::now() + delay;
-  queue_.emplace(when, std::make_pair(id, std::move(fn)));
-  index_.emplace(id, when);
-  cv_.notify_all();
+  TimerId id;
+  {
+    QLockGuard guard(lock_);
+    id = next_id_++;
+    Clock::time_point when = Clock::now() + delay;
+    queue_.emplace(when, std::make_pair(id, std::move(fn)));
+    index_.emplace(id, when);
+  }
+  wake_.Wakeup();
   return id;
 }
 
 bool TimerWheel::Cancel(TimerId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  QLockGuard guard(lock_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     return false;
@@ -43,29 +46,29 @@ bool TimerWheel::Cancel(TimerId id) {
 }
 
 size_t TimerWheel::Pending() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  QLockGuard guard(lock_);
   return queue_.size();
 }
 
 void TimerWheel::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_.wait(lock, [&] { return !executing_; });
+  QLockGuard guard(lock_);
+  drained_.Sleep(lock_, [&]() REQUIRES(lock_) { return !executing_; });
 }
 
 void TimerWheel::Loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  QLockGuard guard(lock_);
   while (!stop_) {
     if (queue_.empty()) {
-      cv_.wait(lock);
+      wake_.Sleep(lock_);
       continue;
     }
     auto next = queue_.begin()->first;
     if (Clock::now() < next) {
-      cv_.wait_until(lock, next);
+      wake_.SleepUntil(lock_, next);
       continue;
     }
     // Collect everything due, then run without the lock so callbacks can
-    // schedule or cancel timers.
+    // schedule or cancel timers (and take conversation locks).
     std::vector<std::function<void()>> due;
     auto now = Clock::now();
     while (!queue_.empty() && queue_.begin()->first <= now) {
@@ -75,13 +78,13 @@ void TimerWheel::Loop() {
       queue_.erase(it);
     }
     executing_ = true;
-    lock.unlock();
+    guard.Unlock();
     for (auto& fn : due) {
       fn();
     }
-    lock.lock();
+    guard.Lock();
     executing_ = false;
-    drained_.notify_all();
+    drained_.Wakeup();
   }
 }
 

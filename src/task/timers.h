@@ -10,12 +10,14 @@
 #define SRC_TASK_TIMERS_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "src/base/thread_annotations.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
 
 namespace plan9 {
 
@@ -59,14 +61,18 @@ class TimerWheel {
 
   void Loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>> queue_;
-  std::map<TimerId, Clock::time_point> index_;
-  TimerId next_id_ = 1;
-  bool stop_ = false;
-  bool executing_ = false;
-  std::condition_variable drained_;
+  // Leaf lock of the hierarchy (DESIGN.md): conversations call
+  // Schedule/Cancel holding their own lock, and callbacks run with this lock
+  // *dropped* so they may take conversation locks in turn.
+  QLock lock_{"timer"};
+  Rendez wake_;
+  Rendez drained_;
+  std::multimap<Clock::time_point, std::pair<TimerId, std::function<void()>>> queue_
+      GUARDED_BY(lock_);
+  std::map<TimerId, Clock::time_point> index_ GUARDED_BY(lock_);
+  TimerId next_id_ GUARDED_BY(lock_) = 1;
+  bool stop_ GUARDED_BY(lock_) = false;
+  bool executing_ GUARDED_BY(lock_) = false;
   std::thread thread_;
 };
 

@@ -1,0 +1,78 @@
+#include "src/task/kproc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+namespace {
+
+TEST(Kproc, RunsAndJoins) {
+  std::atomic<bool> ran{false};
+  {
+    Kproc k("test.runner", [&] { ran = true; });
+    k.Join();
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(Kproc::LiveCount(), 0);
+}
+
+TEST(Kproc, LiveCountTracksRunningProcs) {
+  QLock lock;
+  Rendez go;
+  bool release = false;
+
+  Kproc k("test.blocked", [&] {
+    QLockGuard guard(lock);
+    go.Sleep(lock, [&]() REQUIRES(lock) { return release; });
+  });
+  // The kproc is alive until released.
+  EXPECT_GE(Kproc::LiveCount(), 1);
+  {
+    QLockGuard guard(lock);
+    release = true;
+  }
+  go.Wakeup();
+  k.Join();
+  EXPECT_EQ(Kproc::LiveCount(), 0);
+}
+
+TEST(Kproc, MoveAssignJoinsThePreviousProc) {
+  std::atomic<int> done{0};
+  Kproc a("test.first", [&] { done.fetch_add(1); });
+  // Assigning over a running kproc must join it first, not abandon it.
+  a = Kproc("test.second", [&] { done.fetch_add(10); });
+  EXPECT_GE(done.load(), 1);  // first joined before being replaced
+  a.Join();
+  EXPECT_EQ(done.load(), 11);
+  EXPECT_EQ(a.name(), "test.second");
+}
+
+TEST(Kproc, SelfMoveAssignIsSafe) {
+  std::atomic<bool> ran{false};
+  Kproc k("test.selfmove", [&] {
+    // Hold the thread alive briefly so the self-move happens while joinable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ran = true;
+  });
+  Kproc& alias = k;
+  k = std::move(alias);  // must not join-and-clobber itself
+  EXPECT_EQ(k.name(), "test.selfmove");
+  EXPECT_TRUE(k.joinable());
+  k.Join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Kproc, DefaultConstructedIsInert) {
+  Kproc k;
+  EXPECT_FALSE(k.joinable());
+  k.Join();  // no-op
+}
+
+}  // namespace
+}  // namespace plan9

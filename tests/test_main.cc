@@ -1,0 +1,37 @@
+// Test entry point.
+//
+// Replaces gtest_main so every test is checked for leaked kprocs: a Kproc
+// whose owner forgot Join() keeps running into later tests (or past exit)
+// and turns unrelated tests flaky.  The listener fails the *leaking* test
+// by name instead.
+#include <gtest/gtest.h>
+
+#include "src/task/kproc.h"
+#include "src/task/timers.h"
+
+namespace {
+
+class KprocLeakListener : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    // Let in-flight timer callbacks finish; they are the usual stragglers
+    // holding media delivery lambdas that feed still-draining streams.
+    plan9::TimerWheel::Default().Drain();
+    int live = plan9::Kproc::LiveCount();
+    if (live != 0) {
+      ADD_FAILURE() << info.test_suite_name() << "." << info.name() << " leaked "
+                    << live << " kproc(s); every Kproc owner must Join before "
+                    << "the test returns";
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Death tests fork; "threadsafe" re-executes the binary so the timer
+  // wheel kproc and friends do not survive into the child.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ::testing::UnitTest::GetInstance()->listeners().Append(new KprocLeakListener());
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Run clang-tidy (config: .clang-tidy) over the tree.
+#
+#   tools/tidy.sh [build-dir] [file...]
+#
+# Needs a configured build dir for compile_commands.json (exported by the
+# top-level CMakeLists).  With no files given, checks every .cc under
+# src/, tests/, bench/ and examples/.  Exits non-zero on any finding that
+# .clang-tidy promotes to an error.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "tidy.sh: no $build/compile_commands.json — run: cmake -B $build -S ." >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "tidy.sh: $tidy not found (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+if [ $# -gt 0 ]; then
+  files="$*"
+else
+  files=$(find src tests bench examples -name '*.cc' | sort)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+echo "$files" | tr ' ' '\n' | xargs -P "$jobs" -n 4 "$tidy" -p "$build" --quiet
