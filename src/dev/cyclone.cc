@@ -225,4 +225,35 @@ size_t CycloneProto::ConvCount() {
   return convs_.size();
 }
 
+Result<std::string> CycloneProto::InfoText(NetConv* conv, const std::string& file) {
+  if (file == "stats") {
+    auto* cc = static_cast<CycloneConv*>(conv);
+    Wire* wire;
+    Wire::End tx_end;
+    int link;
+    {
+      QLockGuard guard(cc->lock_);
+      wire = cc->wire_;
+      tx_end = cc->wend_;
+      link = cc->link_;
+    }
+    if (wire == nullptr) {
+      return std::string("link: none\n");
+    }
+    Wire::End rx_end = tx_end == Wire::kA ? Wire::kB : Wire::kA;
+    MediaStats tx = wire->stats(tx_end);
+    MediaStats rx = wire->stats(rx_end);
+    std::string out = StrFormat("link: %d\n", link);
+    out += StrFormat("out: %llu\n", static_cast<unsigned long long>(tx.frames_sent));
+    out += StrFormat("in: %llu\n", static_cast<unsigned long long>(rx.frames_delivered));
+    out += StrFormat("drop: %llu\n",
+                     static_cast<unsigned long long>(tx.frames_dropped));
+    out += StrFormat("oerrs: %llu\n", static_cast<unsigned long long>(tx.send_errors));
+    out += FormatFaultStats(wire->fault_stats(tx_end), "tx-fault-");
+    out += FormatFaultStats(wire->fault_stats(rx_end), "rx-fault-");
+    return out;
+  }
+  return ProtoFiles::InfoText(conv, file);
+}
+
 }  // namespace plan9

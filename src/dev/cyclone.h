@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/thread_annotations.h"
+#include "src/dev/devproto.h"
 #include "src/inet/netproto.h"
 #include "src/sim/wire.h"
 #include "src/task/qlock.h"
@@ -61,7 +62,7 @@ class CycloneConv : public NetConv {
   size_t outstanding_ GUARDED_BY(lock_) = 0;
 };
 
-class CycloneProto : public NetProto {
+class CycloneProto : public NetProto, public ProtoFiles {
  public:
   explicit CycloneProto() = default;
 
@@ -73,6 +74,13 @@ class CycloneProto : public NetProto {
   Result<NetConv*> Clone() override;
   NetConv* Conv(size_t index) override;
   size_t ConvCount() override;
+
+  // ProtoFiles: no listen (point-to-point), plus a stats file reporting the
+  // bound fiber's media and fault counters in each direction.
+  std::vector<std::string> ConvFileNames() override {
+    return {"ctl", "data", "local", "remote", "status", "stats"};
+  }
+  Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
 
  private:
   friend class CycloneConv;

@@ -208,6 +208,7 @@ Result<std::string> EtherProto::InfoText(NetConv* conv, const std::string& file)
     out += StrFormat("out: %llu\n", static_cast<unsigned long long>(s.frames_sent));
     out += StrFormat("drop: %llu\n", static_cast<unsigned long long>(s.frames_dropped));
     out += StrFormat("oerrs: %llu\n", static_cast<unsigned long long>(s.send_errors));
+    out += FormatFaultStats(segment_->fault_stats());
     out += ec->StatusText();
     return out;
   }

@@ -1,9 +1,34 @@
 #include "src/dial/dial.h"
 
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/base/rand.h"
 #include "src/base/strings.h"
 
 namespace plan9 {
 namespace {
+
+// Closes the held fd on every exit path; Release() hands ownership back to
+// the caller on success.  Every early return below leaks nothing.
+class FdCloser {
+ public:
+  FdCloser(Proc* p, int fd) : p_(p), fd_(fd) {}
+  ~FdCloser() {
+    if (fd_ >= 0) {
+      (void)p_->Close(fd_);
+    }
+  }
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+  int Release() { return std::exchange(fd_, -1); }
+  int get() const { return fd_; }
+
+ private:
+  Proc* p_;
+  int fd_;
+};
 
 // One "filename message" candidate from name translation.
 struct Candidate {
@@ -22,11 +47,12 @@ Result<std::vector<Candidate>> Translate(Proc* p, const std::string& dest,
   // for each matching destination reachable from this system."
   auto csfd = p->Open("/net/cs", kORdWr);
   if (csfd.ok()) {
+    FdCloser cs(p, *csfd);
     std::string query = announce ? "announce " + dest : dest;
-    if (p->WriteString(*csfd, query).ok()) {
-      (void)p->Seek(*csfd, 0, kSeekSet);
+    if (p->WriteString(cs.get(), query).ok()) {
+      (void)p->Seek(cs.get(), 0, kSeekSet);
       for (;;) {
-        auto line = p->ReadString(*csfd);
+        auto line = p->ReadString(cs.get());
         if (!line.ok() || line->empty()) {
           break;
         }
@@ -36,7 +62,6 @@ Result<std::vector<Candidate>> Translate(Proc* p, const std::string& dest,
         }
       }
     }
-    (void)p->Close(*csfd);
     if (!out.empty()) {
       return out;
     }
@@ -67,15 +92,14 @@ Result<std::vector<Candidate>> Translate(Proc* p, const std::string& dest,
 // Open the clone file, learn the conversation directory, send the ctl msg.
 // On success returns the open ctl fd and fills conn_dir.
 Result<int> CloneAndCtl(Proc* p, const Candidate& cand, std::string* conn_dir) {
-  P9_ASSIGN_OR_RETURN(int cfd, p->Open(cand.clone_path, kORdWr));
-  auto num = p->ReadString(cfd, 32);
+  P9_ASSIGN_OR_RETURN(int raw_cfd, p->Open(cand.clone_path, kORdWr));
+  FdCloser cfd(p, raw_cfd);
+  auto num = p->ReadString(cfd.get(), 32);
   if (!num.ok()) {
-    (void)p->Close(cfd);
     return num.error();
   }
-  Status wrote = p->WriteString(cfd, cand.ctl_msg);
+  Status wrote = p->WriteString(cfd.get(), cand.ctl_msg);
   if (!wrote.ok()) {
-    (void)p->Close(cfd);
     return wrote.error();
   }
   // ".../tcp/clone" -> ".../tcp/<n>"
@@ -83,7 +107,39 @@ Result<int> CloneAndCtl(Proc* p, const Candidate& cand, std::string* conn_dir) {
   auto slash = proto_dir.rfind('/');
   proto_dir.resize(slash);
   *conn_dir = proto_dir + "/" + std::string(TrimSpace(*num));
-  return cfd;
+  return cfd.Release();
+}
+
+// One full pass over the translated candidates: the classic single-attempt
+// dial.  On failure every fd opened along the way is closed.
+Result<int> DialOnce(Proc* p, const std::string& dest, std::string* dir, int* cfd) {
+  P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                      Translate(p, dest, /*announce=*/false));
+  Error last{std::string(kErrBadAddr)};
+  // "Dial uses CS to translate the symbolic name to all possible destination
+  // addresses and attempts to connect to each in turn until one works."
+  for (const auto& cand : candidates) {
+    std::string conn_dir;
+    auto ctl_fd = CloneAndCtl(p, cand, &conn_dir);
+    if (!ctl_fd.ok()) {
+      last = ctl_fd.error();
+      continue;
+    }
+    FdCloser ctl(p, *ctl_fd);
+    auto dfd = p->Open(conn_dir + "/data", kORdWr);
+    if (!dfd.ok()) {
+      last = dfd.error();
+      continue;
+    }
+    if (dir != nullptr) {
+      *dir = conn_dir;
+    }
+    if (cfd != nullptr) {
+      *cfd = ctl.Release();
+    }
+    return dfd;
+  }
+  return last;
 }
 
 }  // namespace
@@ -105,33 +161,36 @@ std::string NetMkAddr(const std::string& addr, const std::string& defnet,
 }
 
 Result<int> Dial(Proc* p, const std::string& dest, std::string* dir, int* cfd) {
-  P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
-                      Translate(p, dest, /*announce=*/false));
-  Error last{std::string(kErrBadAddr)};
-  // "Dial uses CS to translate the symbolic name to all possible destination
-  // addresses and attempts to connect to each in turn until one works."
-  for (const auto& cand : candidates) {
-    std::string conn_dir;
-    auto ctl = CloneAndCtl(p, cand, &conn_dir);
-    if (!ctl.ok()) {
-      last = ctl.error();
-      continue;
+  return DialOnce(p, dest, dir, cfd);
+}
+
+Result<int> Dial(Proc* p, const std::string& dest, const DialOptions& opts,
+                 std::string* dir, int* cfd) {
+  Rng jitter_rng(opts.jitter_seed);
+  auto delay = opts.backoff;
+  Result<int> last = Error(std::string(kErrBadAddr));
+  for (int attempt = 0; attempt < std::max(1, opts.attempts); attempt++) {
+    if (attempt > 0) {
+      // Backoff with deterministic jitter so a thundering herd of redialers
+      // (and a replayed test) spread out the same way every run.
+      auto d = delay.count();
+      if (opts.jitter > 0 && d > 0) {
+        auto span = static_cast<int64_t>(static_cast<double>(d) * opts.jitter);
+        if (span > 0) {
+          d += static_cast<int64_t>(jitter_rng.Below(
+                   static_cast<uint64_t>(2 * span + 1))) -
+               span;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::max<int64_t>(d, 0)));
+      auto grown = static_cast<int64_t>(static_cast<double>(delay.count()) *
+                                        opts.multiplier);
+      delay = std::min(std::chrono::milliseconds(grown), opts.max_backoff);
     }
-    auto dfd = p->Open(conn_dir + "/data", kORdWr);
-    if (!dfd.ok()) {
-      last = dfd.error();
-      (void)p->Close(*ctl);
-      continue;
+    last = DialOnce(p, dest, dir, cfd);
+    if (last.ok()) {
+      return last;
     }
-    if (dir != nullptr) {
-      *dir = conn_dir;
-    }
-    if (cfd != nullptr) {
-      *cfd = *ctl;
-    } else {
-      (void)p->Close(*ctl);
-    }
-    return dfd;
   }
   return last;
 }
@@ -159,10 +218,10 @@ Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir) {
   // "If the process opens the listen file it blocks until an incoming call
   // is received...  Reading the ctl file yields a connection number used to
   // construct the path of the data file."
-  P9_ASSIGN_OR_RETURN(int lcfd, p->Open(dir + "/listen", kORdWr));
-  auto num = p->ReadString(lcfd, 32);
+  P9_ASSIGN_OR_RETURN(int raw_lcfd, p->Open(dir + "/listen", kORdWr));
+  FdCloser lcfd(p, raw_lcfd);
+  auto num = p->ReadString(lcfd.get(), 32);
   if (!num.ok()) {
-    (void)p->Close(lcfd);
     return num.error();
   }
   std::string proto_dir = dir;
@@ -171,7 +230,7 @@ Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir) {
   if (ldir != nullptr) {
     *ldir = proto_dir + "/" + std::string(TrimSpace(*num));
   }
-  return lcfd;
+  return lcfd.Release();
 }
 
 Result<int> Accept(Proc* p, int ctl, const std::string& ldir) {

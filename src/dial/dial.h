@@ -17,6 +17,8 @@
 #ifndef SRC_DIAL_DIAL_H_
 #define SRC_DIAL_DIAL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 
 #include "src/base/result.h"
@@ -24,12 +26,30 @@
 
 namespace plan9 {
 
+// Retry policy for Dial.  Each attempt iterates over *all* CS translations;
+// between attempts the caller's process sleeps an exponentially growing
+// backoff with deterministic jitter (seeded, so tests replay exactly).
+struct DialOptions {
+  int attempts = 1;  // total tries; 1 == the classic single pass
+  std::chrono::milliseconds backoff{100};      // delay before the 2nd attempt
+  double multiplier = 2.0;                     // growth per attempt
+  std::chrono::milliseconds max_backoff{2000}; // ceiling
+  double jitter = 0.25;     // +/- fraction of the delay, drawn from the Rng
+  uint64_t jitter_seed = 1; // deterministic jitter source
+};
+
 // Establish a connection to `dest` ("net!host!service").  Returns an open
 // fd for the data file.  If `dir` is non-null it receives the connection
 // directory path ("/net/il/3"); if `cfd` is non-null it receives an open fd
 // for the ctl file (caller closes), else the ctl fd is closed.
 Result<int> Dial(Proc* p, const std::string& dest, std::string* dir = nullptr,
                  int* cfd = nullptr);
+
+// Same, with bounded retry.  Name translation reruns on every attempt, so a
+// service that appears (or a CS answer that changes) while backing off is
+// picked up.  Returns the last error once attempts are exhausted.
+Result<int> Dial(Proc* p, const std::string& dest, const DialOptions& opts,
+                 std::string* dir = nullptr, int* cfd = nullptr);
 
 // Announce `addr` ("tcp!*!echo"); returns an open ctl fd (keep it open: "an
 // announcement remains in force until the control file is closed").  `dir`

@@ -20,6 +20,13 @@ constexpr auto kInitialRtt = std::chrono::microseconds(100'000);
 constexpr int kMaxSyncTries = 8;
 constexpr int kMaxCloseTries = 4;
 constexpr int kMaxBackoff = 16;  // give up after this many consecutive timeouts
+// Deadman: a peer that answers none of this many consecutive queries is
+// declared dead.  Tighter than kMaxBackoff (which tolerates answered-but-
+// unproductive rounds) yet loose enough to ride out a few-second partition.
+constexpr int kDeadmanQueries = 10;
+// Idle connections are probed at this cadence (real IL regularly queries
+// idle conversations); unanswered probes count toward the deadman.
+constexpr auto kKeepaliveTime = std::chrono::microseconds(2'000'000);
 
 void Put16(uint8_t* p, uint16_t v) {
   p[0] = static_cast<uint8_t>(v >> 8);
@@ -111,6 +118,7 @@ void IlConv::Recycle() {
   backoff_ = 0;
   sync_tries_ = 0;
   close_tries_ = 0;
+  unanswered_queries_ = 0;
   pending_.clear();
   err_.clear();
   stats_ = IlConvStats{};
@@ -308,7 +316,9 @@ Status IlConv::SendMessage(const Bytes& payload) {
   unacked_.push_back(Unacked{id, payload, TimerWheel::Clock::now(), false});
   stats_.msgs_sent++;
   Status s = EmitLocked(IlType::kData, id, recvd_, payload);
-  if (timer_ == kNoTimer) {
+  if (unacked_.size() == 1) {
+    // First outstanding message: the pending timer (if any) is ticking at
+    // the keep-alive cadence — rearm at the retransmit timeout.
     ArmTimerLocked(RtoLocked());
   }
   return s;
@@ -383,8 +393,26 @@ void IlConv::TimerFire() {
       ArmTimerLocked(RtoLocked());
       break;
     case State::kEstablished:
+      if (unanswered_queries_ >= kDeadmanQueries) {
+        stats_.deadman_closes++;
+        state_ = State::kClosed;
+        err_ = kErrTimedOut;
+        HangupLocked();
+        break;
+      }
       if (unacked_.empty()) {
-        break;  // nothing outstanding; timer dies
+        // Nothing outstanding: keep-alive.  Real IL regularly queries idle
+        // connections so a host holding a conversation its peer has
+        // forgotten (crashed, or deadman-killed across a partition) finds
+        // out, instead of blocking a reader forever.  Unanswered probes
+        // feed the same deadman; any packet from the peer resets it, so an
+        // idle connection rides out partitions shorter than the full
+        // ladder (~kDeadmanQueries * kKeepaliveTime).
+        stats_.keepalives_sent++;
+        unanswered_queries_++;
+        (void)EmitLocked(IlType::kQuery, next_ - 1, recvd_, {});
+        ArmTimerLocked(kKeepaliveTime);
+        break;
       }
       if (++backoff_ > kMaxBackoff) {
         state_ = State::kClosed;
@@ -395,6 +423,7 @@ void IlConv::TimerFire() {
       // "In contrast to other protocols, IL does not do blind retransmission.
       // If a message is lost and a timeout occurs, a query message is sent."
       stats_.queries_sent++;
+      unanswered_queries_++;
       (void)EmitLocked(IlType::kQuery, next_ - 1, recvd_, {});
       ArmTimerLocked(RtoLocked());
       break;
@@ -440,10 +469,8 @@ void IlConv::HandleAckLocked(uint32_t ack) {
   if (advanced) {
     backoff_ = 0;
     if (unacked_.empty()) {
-      if (timer_ != kNoTimer) {
-        TimerWheel::Default().Cancel(timer_);
-        timer_ = kNoTimer;
-      }
+      // All data acknowledged: drop to the keep-alive cadence.
+      ArmTimerLocked(kKeepaliveTime);
     } else {
       ArmTimerLocked(RtoLocked());
     }
@@ -513,12 +540,25 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
                               &deliveries);
             (void)EmitLocked(IlType::kAck, next_ - 1, recvd_, {});
           }
+        } else if (type == IlType::kQuery && ack == start_) {
+          // The peer is already established (it only queries once up) but
+          // our sync-ack never registered here — its query acking our start
+          // proves the handshake completed.  Without this transition the
+          // conversation stalls until the sync retry timer happens to fire.
+          state_ = State::kEstablished;
+          backoff_ = 0;
+          sync_tries_ = 0;
+          stats_.states_sent++;
+          (void)EmitLocked(IlType::kState, next_ - 1, recvd_, {});
+          wake_ready = true;
         } else if (type == IlType::kSync) {
           // Duplicate sync from the peer: re-answer.
           (void)EmitLocked(IlType::kSync, start_, recvd_, {});
         }
         break;
       case State::kEstablished:
+        // Any packet from the peer proves it is alive: feed the deadman.
+        unanswered_queries_ = 0;
         switch (type) {
           case IlType::kSync:
             // Stale handshake duplicate; re-ack.
@@ -685,6 +725,28 @@ size_t IlProto::ConvCount() {
   return convs_.size();
 }
 
+Result<std::string> IlProto::InfoText(NetConv* conv, const std::string& file) {
+  if (file == "stats") {
+    IlConvStats s = static_cast<IlConv*>(conv)->stats();
+    std::string out;
+    auto line = [&](const char* key, uint64_t v) {
+      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v));
+    };
+    line("sent", s.msgs_sent);
+    line("rcvd", s.msgs_received);
+    line("rexmit", s.retransmits);
+    line("queries", s.queries_sent);
+    line("states", s.states_sent);
+    line("dup", s.dups_dropped);
+    line("outwin", s.out_of_window);
+    line("keepalives", s.keepalives_sent);
+    line("deadman", s.deadman_closes);
+    out += StrFormat("rtt: %lld us\n", static_cast<long long>(s.srtt.count()));
+    return out;
+  }
+  return ProtoFiles::InfoText(conv, file);
+}
+
 IlConv* IlProto::SpawnFromSync(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
                                uint32_t peer_id, IlConv* listener) {
   auto spawned = AllocConv();
@@ -770,7 +832,33 @@ void IlProto::Input(const IpPacket& pkt) {
   }
   if (listener != nullptr) {
     SpawnFromSync(pkt.dst, pkt.src, dport, sport, id, listener);
+    return;
   }
+  // No conversation wants this packet.  Real IL resets traffic for
+  // conversations it has no record of, so a peer probing a dead one (its
+  // keep-alive, a query across our deadman kill) learns fast instead of
+  // probing a black hole.  Syncs to closed ports stay silently ignored
+  // (connection attempts ride their own retry ladder), and we never answer
+  // a kClose with a kClose — that would ping-pong between two dead ends.
+  if (type != IlType::kSync && type != IlType::kClose) {
+    SendReset(pkt.dst, pkt.src, dport, sport, ack, id);
+  }
+}
+
+void IlProto::SendReset(Ipv4Addr laddr, Ipv4Addr raddr, uint16_t lport, uint16_t rport,
+                        uint32_t id, uint32_t ack) {
+  Bytes pkt(kIlHeaderSize);
+  uint8_t* h = pkt.data();
+  Put16(h, 0);  // sum, filled below
+  Put16(h + 2, static_cast<uint16_t>(pkt.size()));
+  h[4] = static_cast<uint8_t>(IlType::kClose);
+  h[5] = 0;  // spec
+  Put16(h + 6, lport);
+  Put16(h + 8, rport);
+  Put32(h + 10, id);
+  Put32(h + 14, ack);
+  Put16(h, InetChecksum(pkt.data(), pkt.size()));
+  (void)ip_->Send(kIpProtoIl, laddr, raddr, pkt);
 }
 
 }  // namespace plan9

@@ -28,6 +28,7 @@
 
 #include "src/base/rand.h"
 #include "src/base/thread_annotations.h"
+#include "src/dev/devproto.h"
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
@@ -55,6 +56,8 @@ struct IlConvStats {
   uint64_t states_sent = 0;
   uint64_t dups_dropped = 0;
   uint64_t out_of_window = 0;
+  uint64_t keepalives_sent = 0;  // idle-connection probes
+  uint64_t deadman_closes = 0;   // killed after too many unanswered queries
   std::chrono::microseconds srtt{0};
 };
 
@@ -155,13 +158,17 @@ class IlConv : public NetConv {
   uint32_t last_rexmit_id_ GUARDED_BY(lock_) = 0;
   int sync_tries_ GUARDED_BY(lock_) = 0;
   int close_tries_ GUARDED_BY(lock_) = 0;
+  // Deadman: consecutive queries the peer never answered.  Any Ack or State
+  // from the peer resets it; crossing kDeadmanQueries kills the connection
+  // (faster than waiting out the full backoff ladder on a dead link).
+  int unanswered_queries_ GUARDED_BY(lock_) = 0;
 
   std::deque<int> pending_ GUARDED_BY(lock_);  // incoming calls (listening conv)
   std::string err_ GUARDED_BY(lock_);          // why the conversation died
   IlConvStats stats_ GUARDED_BY(lock_);
 };
 
-class IlProto : public NetProto {
+class IlProto : public NetProto, public ProtoFiles {
  public:
   explicit IlProto(IpStack* ip);
   ~IlProto() override;
@@ -170,6 +177,13 @@ class IlProto : public NetProto {
   Result<NetConv*> Clone() override;
   NetConv* Conv(size_t index) override;
   size_t ConvCount() override;
+
+  // ProtoFiles: the standard six plus a stats file with the per-conversation
+  // counters (retransmits, queries, deadman kills) tests assert on.
+  std::vector<std::string> ConvFileNames() override {
+    return {"ctl", "data", "listen", "local", "remote", "status", "stats"};
+  }
+  Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
 
   IpStack* ip() { return ip_; }
 
@@ -180,6 +194,8 @@ class IlProto : public NetProto {
   Result<IlConv*> AllocConv();
   IlConv* SpawnFromSync(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
                         uint32_t peer_id, IlConv* listener);
+  void SendReset(Ipv4Addr laddr, Ipv4Addr raddr, uint16_t lport, uint16_t rport,
+                 uint32_t id, uint32_t ack);
 
   IpStack* ip_;
   QLock lock_{"il.proto"};

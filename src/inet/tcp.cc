@@ -793,6 +793,26 @@ size_t TcpProto::ConvCount() {
   return convs_.size();
 }
 
+Result<std::string> TcpProto::InfoText(NetConv* conv, const std::string& file) {
+  if (file == "stats") {
+    TcpConvStats s = static_cast<TcpConv*>(conv)->stats();
+    std::string out;
+    auto line = [&](const char* key, uint64_t v) {
+      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v));
+    };
+    line("sent", s.segs_sent);
+    line("rcvd", s.segs_received);
+    line("bytes-sent", s.bytes_sent);
+    line("bytes-rcvd", s.bytes_received);
+    line("rexmit", s.retransmit_segs);
+    line("rexmit-bytes", s.retransmit_bytes);
+    line("dup", s.dup_segs);
+    out += StrFormat("rtt: %lld us\n", static_cast<long long>(s.srtt.count()));
+    return out;
+  }
+  return ProtoFiles::InfoText(conv, file);
+}
+
 TcpConv* TcpProto::SpawnFromSyn(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
                                 uint32_t peer_seq, TcpConv* listener) {
   auto spawned = AllocConv();

@@ -22,6 +22,7 @@
 
 #include "src/base/rand.h"
 #include "src/base/thread_annotations.h"
+#include "src/dev/devproto.h"
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
@@ -153,7 +154,7 @@ class TcpConv : public NetConv {
   TcpConvStats stats_ GUARDED_BY(lock_);
 };
 
-class TcpProto : public NetProto {
+class TcpProto : public NetProto, public ProtoFiles {
  public:
   explicit TcpProto(IpStack* ip);
   ~TcpProto() override;
@@ -162,6 +163,13 @@ class TcpProto : public NetProto {
   Result<NetConv*> Clone() override;
   NetConv* Conv(size_t index) override;
   size_t ConvCount() override;
+
+  // ProtoFiles: the standard six plus a stats file with per-conversation
+  // retransmit and duplicate-segment counters.
+  std::vector<std::string> ConvFileNames() override {
+    return {"ctl", "data", "listen", "local", "remote", "status", "stats"};
+  }
+  Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
 
   IpStack* ip() { return ip_; }
 

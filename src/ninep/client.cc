@@ -18,8 +18,17 @@ void NinepClient::ReaderLoop() {
   for (;;) {
     auto raw = transport_->ReadMsg();
     if (!raw.ok() || raw->empty()) {
-      QLockGuard guard(lock_);
-      FailAllLocked(raw.ok() ? std::string(kErrHungup) : raw.error().message());
+      std::function<void(const std::string&)> hook;
+      std::string why = raw.ok() ? std::string(kErrHungup) : raw.error().message();
+      {
+        QLockGuard guard(lock_);
+        if (FailAllLocked(why)) {
+          hook = on_dead_;
+        }
+      }
+      if (hook) {
+        hook(why);
+      }
       return;
     }
     auto reply = Fcall::Unpack(*raw);
@@ -28,6 +37,7 @@ void NinepClient::ReaderLoop() {
       continue;
     }
     std::shared_ptr<Pending> waiter;
+    std::shared_ptr<Pending> chained;
     {
       QLockGuard guard(lock_);
       auto it = pending_.find(reply->tag);
@@ -36,41 +46,131 @@ void NinepClient::ReaderLoop() {
         pending_.erase(it);
         waiter->have_reply = true;
         waiter->reply = reply.take();
+        chained = waiter->also_wake;
       }
     }
     if (waiter != nullptr) {
       waiter->done.Wakeup();
+      if (chained != nullptr) {
+        chained->done.Wakeup();
+      }
     } else {
+      // Replies for flushed tags whose Rflush already won land here.
       P9_LOG(kDebug) << "9p client: reply for unknown tag";
     }
   }
 }
 
-void NinepClient::FailAllLocked(const std::string& why) {
+uint16_t NinepClient::AllocTagLocked() {
+  uint16_t tag;
+  do {
+    tag = next_tag_++;
+    if (next_tag_ == kNoTag) {
+      next_tag_ = 1;
+    }
+  } while (pending_.count(tag) != 0);
+  return tag;
+}
+
+bool NinepClient::FailAllLocked(const std::string& why) {
+  if (dead_) {
+    return false;
+  }
   dead_ = true;
   death_reason_ = why;
+  stats_.failures++;
   for (auto& [tag, waiter] : pending_) {
     waiter->have_reply = true;
     waiter->reply = RerrorMsg(tag, why);
     waiter->done.Wakeup();
   }
   pending_.clear();
+  return true;
+}
+
+Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending> waiter,
+                                        std::chrono::milliseconds deadline) {
+  // Half of the flush dance runs without the lock (transport writes block);
+  // the waiter stays registered in pending_ throughout so a late reply is
+  // matched to it, never to a recycled tag.
+  auto flushw = std::make_shared<Pending>();
+  uint16_t flush_tag;
+  {
+    QLockGuard guard(lock_);
+    if (waiter->have_reply) {
+      return waiter->reply;  // lost the race: the reply just landed
+    }
+    stats_.timeouts++;
+    flush_tag = AllocTagLocked();
+    pending_[flush_tag] = flushw;
+    waiter->also_wake = flushw;
+  }
+  Fcall tf = TflushMsg(oldtag);
+  tf.tag = flush_tag;
+  auto packed = tf.Pack();
+  Status sent = packed.ok() ? transport_->WriteMsg(*packed) : packed.error();
+  std::function<void(const std::string&)> hook;
+  std::string hook_why;
+  Result<Fcall> out = Error(std::string(kErrTimedOut));
+  {
+    QLockGuard guard(lock_);
+    if (!sent.ok()) {
+      if (FailAllLocked(StrFormat("9p flush failed: %s", sent.error().message().c_str()))) {
+        hook = on_dead_;
+        hook_why = death_reason_;
+      }
+    } else {
+      stats_.flushes_sent++;
+      // Wait for whichever the server sends first: the old reply (it beat
+      // the flush) or the Rflush (the RPC is officially dead).
+      (void)flushw->done.SleepFor(lock_, deadline, [&]() REQUIRES(lock_) {
+        return flushw->have_reply || waiter->have_reply;
+      });
+    }
+    waiter->also_wake = nullptr;
+    if (waiter->have_reply) {
+      // The original reply won (or FailAll stamped an error into it).  The
+      // orphan Rflush, if still owed, is consumed by ReaderLoop against the
+      // still-registered flush tag.
+      if (!dead_) {
+        stats_.late_replies++;
+      }
+      out = waiter->reply;
+    } else if (flushw->have_reply) {
+      // Rflush confirmed: the server will never answer oldtag.  Reap it so
+      // the tag can be reused.
+      stats_.flushed++;
+      pending_.erase(oldtag);
+      out = Error(std::string(kErrTimedOut));
+    } else {
+      // Neither the RPC nor its flush was answered: the connection is gone.
+      pending_.erase(oldtag);
+      pending_.erase(flush_tag);
+      if (FailAllLocked("9p rpc timed out (flush unanswered)")) {
+        hook = on_dead_;
+        hook_why = death_reason_;
+      }
+      out = Error(std::string(kErrTimedOut));
+    }
+  }
+  if (hook) {
+    hook(hook_why);
+  }
+  return out;
 }
 
 Result<Fcall> NinepClient::Rpc(Fcall tx) {
   auto waiter = std::make_shared<Pending>();
+  std::chrono::milliseconds deadline{0};
   {
     QLockGuard guard(lock_);
     if (dead_) {
       return Error(death_reason_);
     }
-    do {
-      tx.tag = next_tag_++;
-      if (next_tag_ == kNoTag) {
-        next_tag_ = 1;
-      }
-    } while (pending_.count(tx.tag) != 0);
+    stats_.rpcs++;
+    tx.tag = AllocTagLocked();
     pending_[tx.tag] = waiter;
+    deadline = rpc_timeout_;
   }
   auto packed = tx.Pack();
   if (!packed.ok()) {
@@ -84,19 +184,50 @@ Result<Fcall> NinepClient::Rpc(Fcall tx) {
     pending_.erase(tx.tag);
     return sent.error();
   }
+  bool timed_out = false;
   {
     QLockGuard guard(lock_);
-    waiter->done.Sleep(lock_, [&]() REQUIRES(lock_) { return waiter->have_reply; });
+    if (deadline.count() <= 0) {
+      waiter->done.Sleep(lock_, [&]() REQUIRES(lock_) { return waiter->have_reply; });
+    } else {
+      timed_out = !waiter->done.SleepFor(
+          lock_, deadline, [&]() REQUIRES(lock_) { return waiter->have_reply; });
+      timed_out = timed_out && !waiter->have_reply;
+    }
   }
-  if (waiter->reply.type == FcallType::kRerror) {
-    return Error(waiter->reply.ename);
+  Result<Fcall> reply = Error(std::string(kErrTimedOut));
+  if (timed_out) {
+    reply = FlushAndReap(tx.tag, waiter, deadline);
+    if (!reply.ok()) {
+      return reply.error();
+    }
+  } else {
+    reply = waiter->reply;
+  }
+  if (reply->type == FcallType::kRerror) {
+    return Error(reply->ename);
   }
   // Sanity: reply type must be request type + 1.
-  if (static_cast<uint8_t>(waiter->reply.type) != static_cast<uint8_t>(tx.type) + 1) {
+  if (static_cast<uint8_t>(reply->type) != static_cast<uint8_t>(tx.type) + 1) {
     return Error(StrFormat("mismatched 9p reply: %s for %s",
-                           FcallTypeName(waiter->reply.type), FcallTypeName(tx.type)));
+                           FcallTypeName(reply->type), FcallTypeName(tx.type)));
   }
-  return waiter->reply;
+  return reply;
+}
+
+void NinepClient::SetRpcTimeout(std::chrono::milliseconds timeout) {
+  QLockGuard guard(lock_);
+  rpc_timeout_ = timeout;
+}
+
+void NinepClient::OnDead(std::function<void(const std::string&)> hook) {
+  QLockGuard guard(lock_);
+  on_dead_ = std::move(hook);
+}
+
+NinepClientStats NinepClient::stats() {
+  QLockGuard guard(lock_);
+  return stats_;
 }
 
 uint32_t NinepClient::AllocFid() {

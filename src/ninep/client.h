@@ -7,6 +7,8 @@
 #ifndef SRC_NINEP_CLIENT_H_
 #define SRC_NINEP_CLIENT_H_
 
+#include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +24,16 @@
 
 namespace plan9 {
 
+// Counters for the recovery machinery; tests assert Tflush actually fired.
+struct NinepClientStats {
+  uint64_t rpcs = 0;
+  uint64_t timeouts = 0;      // RPC deadlines that expired
+  uint64_t flushes_sent = 0;  // Tflush messages written
+  uint64_t flushed = 0;       // RPCs the server confirmed flushed (Rflush won)
+  uint64_t late_replies = 0;  // original reply beat the Rflush after a timeout
+  uint64_t failures = 0;      // connection declared dead (FailAll)
+};
+
 class NinepClient {
  public:
   explicit NinepClient(std::unique_ptr<MsgTransport> transport);
@@ -32,7 +44,24 @@ class NinepClient {
 
   // Issue one RPC: allocates the tag, sends, blocks for the matching reply.
   // Rerror replies surface as failed Results carrying ename.
+  //
+  // With a deadline set (SetRpcTimeout), an overdue RPC is flushed: a
+  // Tflush(oldtag) goes out and the caller gets a timeout error once the
+  // server confirms (Rflush) — or, if the original reply outruns the
+  // Rflush, that reply, late but intact.  If the flush itself goes
+  // unanswered for another deadline the connection is declared dead:
+  // every waiter fails and the on-dead hook fires (redial time).
   Result<Fcall> Rpc(Fcall tx);
+
+  // Per-RPC deadline; zero (the default) waits forever.
+  void SetRpcTimeout(std::chrono::milliseconds timeout);
+
+  // Invoked (without locks held, at most once) when the connection is
+  // declared dead — transport error or unanswered flush.  The mount layer
+  // hangs a redial policy here.
+  void OnDead(std::function<void(const std::string& why)> hook);
+
+  NinepClientStats stats();
 
   // Fid allocation for callers (the server sees whatever we choose).
   uint32_t AllocFid();
@@ -61,10 +90,19 @@ class NinepClient {
     Rendez done;
     bool have_reply = false;
     Fcall reply;
+    // A flush waiter chained to this tag: when the original reply lands,
+    // the flusher sleeping on its own Rendez must be woken too.
+    std::shared_ptr<Pending> also_wake;
   };
 
   void ReaderLoop();
-  void FailAllLocked(const std::string& why) REQUIRES(lock_);
+  uint16_t AllocTagLocked() REQUIRES(lock_);
+  // Returns true on the live->dead transition (callers fire the hook then).
+  bool FailAllLocked(const std::string& why) REQUIRES(lock_);
+  // Deadline expired on `waiter` (tag `oldtag`): send Tflush and resolve.
+  // Returns the reply to surface, or a timeout error.
+  Result<Fcall> FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending> waiter,
+                             std::chrono::milliseconds deadline);
 
   std::unique_ptr<MsgTransport> transport_;
   QLock lock_{"9p.client"};
@@ -73,6 +111,9 @@ class NinepClient {
   uint32_t next_fid_ GUARDED_BY(lock_) = 1;
   bool dead_ GUARDED_BY(lock_) = false;
   std::string death_reason_ GUARDED_BY(lock_);
+  std::chrono::milliseconds rpc_timeout_ GUARDED_BY(lock_){0};
+  std::function<void(const std::string&)> on_dead_ GUARDED_BY(lock_);
+  NinepClientStats stats_ GUARDED_BY(lock_);
   Kproc reader_;
 };
 

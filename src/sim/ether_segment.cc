@@ -74,9 +74,11 @@ Result<EtherFrame> EtherFrame::Unpack(const Bytes& raw) {
 }
 
 EtherSegment::EtherSegment(LinkParams params) : shared_(std::make_shared<Shared>()) {
+  auto now = TimerWheel::Clock::now();
   shared_->params = params;
   shared_->rng = Rng(params.seed);
-  shared_->busy_until = TimerWheel::Clock::now();
+  shared_->faults = FaultInjector(params.faults, params.seed, now);
+  shared_->busy_until = now;
 }
 
 EtherSegment::~EtherSegment() {
@@ -111,7 +113,10 @@ void EtherSegment::SetPromiscuous(StationId id, bool on) {
 Status EtherSegment::Send(const EtherFrame& frame) {
   auto shared = shared_;
   TimerWheel::Clock::duration delay;
+  TimerWheel::Clock::duration tx_time{0};
   size_t frame_size = kEtherHeaderSize + frame.payload.size();
+  EtherFrame delivered = frame;
+  bool duplicate = false;
   {
     QLockGuard guard(shared->lock);
     if (shared->down) {
@@ -129,16 +134,26 @@ Status EtherSegment::Send(const EtherFrame& frame) {
       return Status::Ok();
     }
     auto now = TimerWheel::Clock::now();
-    TimerWheel::Clock::duration tx_time{0};
+    auto fault = shared->faults.Evaluate(now, delivered.payload.size());
+    if (fault.drop) {
+      shared->stats.frames_dropped++;
+      return Status::Ok();
+    }
+    if (fault.corrupt) {
+      // Damage the payload, not the header: a corrupted destination would
+      // just look like loss, which the burst model already covers.
+      FaultInjector::ApplyCorruption(&delivered.payload, fault.corrupt_bit);
+    }
+    duplicate = fault.duplicate;
     if (shared->params.bandwidth_bps > 0) {
       tx_time = std::chrono::nanoseconds(frame_size * 8ULL * 1'000'000'000ULL /
                                          shared->params.bandwidth_bps);
     }
     auto start = std::max(now, shared->busy_until);
     shared->busy_until = start + tx_time;
-    delay = (shared->busy_until + shared->params.latency) - now;
+    delay = (shared->busy_until + shared->params.latency) - now + fault.extra_delay;
   }
-  TimerWheel::Default().Schedule(delay, [shared, frame]() {
+  auto deliver = [shared, frame = std::move(delivered)]() {
     std::vector<RecvFn> receivers;
     {
       QLockGuard guard(shared->lock);
@@ -160,13 +175,29 @@ Status EtherSegment::Send(const EtherFrame& frame) {
     for (auto& recv : receivers) {
       recv(frame);
     }
-  });
+  };
+  if (duplicate) {
+    // The copy re-serializes behind the original, so it lands strictly later.
+    TimerWheel::Default().Schedule(delay + tx_time + std::chrono::microseconds(1),
+                                   deliver);
+  }
+  TimerWheel::Default().Schedule(delay, std::move(deliver));
   return Status::Ok();
 }
 
 MediaStats EtherSegment::stats() {
   QLockGuard guard(shared_->lock);
   return shared_->stats;
+}
+
+FaultStats EtherSegment::fault_stats() {
+  QLockGuard guard(shared_->lock);
+  return shared_->faults.stats();
+}
+
+void EtherSegment::SetPartitioned(bool down) {
+  QLockGuard guard(shared_->lock);
+  shared_->faults.SetDown(down);
 }
 
 size_t EtherSegment::station_count() {

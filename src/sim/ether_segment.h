@@ -18,6 +18,7 @@
 #include "src/base/thread_annotations.h"
 #include "src/base/rand.h"
 #include "src/base/result.h"
+#include "src/sim/faults.h"
 #include "src/sim/medium.h"
 #include "src/task/qlock.h"
 #include "src/task/timers.h"
@@ -60,7 +61,13 @@ class EtherSegment {
   Status Send(const EtherFrame& frame);
 
   MediaStats stats();
+  FaultStats fault_stats();
   size_t station_count();
+
+  // Temporary partition (the test's hand on the cable): while down, every
+  // frame sent drops as a partition loss.  Frames already in flight still
+  // arrive — propagation was committed at send time.
+  void SetPartitioned(bool down);
 
  private:
   struct Station {
@@ -75,6 +82,7 @@ class EtherSegment {
     QLock lock{"sim.ether"};
     LinkParams params GUARDED_BY(lock);
     Rng rng GUARDED_BY(lock){1};
+    FaultInjector faults GUARDED_BY(lock);
     TimerWheel::Clock::time_point busy_until GUARDED_BY(lock);
     MediaStats stats GUARDED_BY(lock);
     std::vector<Station> stations GUARDED_BY(lock);

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "src/sim/faults.h"
+
 namespace plan9 {
 
 struct LinkParams {
@@ -18,12 +20,16 @@ struct LinkParams {
   uint64_t bandwidth_bps = 0;
   // One-way propagation delay.
   std::chrono::microseconds latency{0};
-  // Probability each frame is silently dropped.
+  // Probability each frame is silently dropped (legacy uniform knob; the
+  // FaultProfile below models everything richer).
   double loss_rate = 0.0;
   // Seed for the loss/jitter Rng.
   uint64_t seed = 1;
   // Maximum frame size; larger sends fail (media enforce their MTU).
   size_t mtu = 64 * 1024;
+  // Adversarial link behaviour: loss bursts, duplication, reordering, bit
+  // corruption, scripted partitions.  Driven by `seed`, so replays exactly.
+  FaultProfile faults;
 
   static LinkParams Perfect() { return LinkParams{}; }
 
@@ -31,26 +37,30 @@ struct LinkParams {
   static LinkParams Ether10() {
     return LinkParams{.bandwidth_bps = 10'000'000,
                       .latency = std::chrono::microseconds(200),
-                      .mtu = 1514};
+                      .mtu = 1514,
+                      .faults = {}};
   }
   static LinkParams Datakit() {
     // URP/Datakit measured 0.22 MB/s and 1.75 ms RTT latency in Table 1;
     // circuits through the switch were ~2 Mb/s with millisecond latencies.
     return LinkParams{.bandwidth_bps = 2'000'000,
                       .latency = std::chrono::microseconds(700),
-                      .mtu = 2048};
+                      .mtu = 2048,
+                      .faults = {}};
   }
   static LinkParams Cyclone() {
     // "two VME cards ... drive the lines at 125 Mbit/sec"; software copies
     // directly from system memory to fiber.
     return LinkParams{.bandwidth_bps = 125'000'000,
                       .latency = std::chrono::microseconds(50),
-                      .mtu = 64 * 1024};
+                      .mtu = 64 * 1024,
+                      .faults = {}};
   }
   static LinkParams Serial9600() {
     return LinkParams{.bandwidth_bps = 9'600,
                       .latency = std::chrono::microseconds(100),
-                      .mtu = 1024};
+                      .mtu = 1024,
+                      .faults = {}};
   }
 };
 

@@ -14,6 +14,7 @@
 #include "src/base/thread_annotations.h"
 #include "src/base/rand.h"
 #include "src/base/result.h"
+#include "src/sim/faults.h"
 #include "src/sim/medium.h"
 #include "src/task/qlock.h"
 #include "src/task/timers.h"
@@ -40,14 +41,21 @@ class Wire {
   Status Send(End from, Bytes frame);
 
   MediaStats stats(End from);
+  FaultStats fault_stats(End from);
 
   // Sever the link: nothing further is delivered in either direction.
   void Cut();
+
+  // Temporary partition (the test's hand on the cable): while down, frames
+  // sent in either direction drop as partition losses.  Frames already in
+  // flight still arrive — propagation was committed at send time.
+  void SetPartitioned(bool down);
 
  private:
   struct Direction {
     LinkParams params;
     Rng rng;
+    FaultInjector faults;
     TimerWheel::Clock::time_point busy_until;
     MediaStats stats;
     RecvFn recv;  // callback of the *receiving* end

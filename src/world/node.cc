@@ -31,9 +31,9 @@ void Node::AddIpProtoDirs() {
     return;
   }
   ip_protos_added_ = true;
-  netdir_.Add(tcp_.get());
+  netdir_.Add(tcp_.get(), tcp_.get());
   netdir_.Add(udp_.get());
-  netdir_.Add(il_.get());
+  netdir_.Add(il_.get(), il_.get());
 }
 
 void Node::AddEther(EtherSegment* segment, MacAddr mac, Ipv4Addr addr, Ipv4Addr mask) {
@@ -54,7 +54,7 @@ void Node::AddDatakit(DatakitSwitch* dk, const std::string& dk_name) {
 int Node::AddCyclone(Wire* wire, Wire::End end) {
   bool first = cyclone_.ConvCount() == 0 && cyclone_link_count_ == 0;
   if (first) {
-    netdir_.Add(&cyclone_);
+    netdir_.Add(&cyclone_, &cyclone_);
   }
   cyclone_link_count_++;
   return cyclone_.AddLink(wire, end);
