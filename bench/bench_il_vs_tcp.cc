@@ -10,10 +10,12 @@
 //     printed by tools/loc.sh and recorded in EXPERIMENTS.md.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 
 #include "src/dial/dial.h"
+#include "src/obs/metrics.h"
 #include "src/ndb/ndb.h"
 #include "src/world/boot.h"
 #include "src/world/node.h"
@@ -150,7 +152,20 @@ double ThroughputMBs(Conn& c, size_t msg, size_t total) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_il_vs_tcp.json";
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    }
+  }
   int rounds = quick ? 100 : 400;
   size_t total = (quick ? 1 : 4) * 512 * 1024;
 
@@ -158,16 +173,30 @@ int main(int argc, char** argv) {
   std::printf("9P-transport comparison on a 10 Mb/s Ethernet (§3)\n\n");
   std::printf("%-6s %22s %18s\n", "proto", "128B RPC latency (us)",
               "8K msg tput (MB/s)");
-  for (const char* proto : {"il", "tcp"}) {
-    auto lat_conn = Connect(w, proto, "9901");
-    double lat = RpcLatencyUs(lat_conn, 128, rounds);
-    auto tput_conn = Connect(w, proto, "9902");
-    double tput = ThroughputMBs(tput_conn, 8192, total);
-    std::printf("%-6s %22.1f %18.2f\n", proto, lat, tput);
+  double lat_us[2], tput_mbs[2];
+  const char* protos[2] = {"il", "tcp"};
+  for (int i = 0; i < 2; i++) {
+    auto lat_conn = Connect(w, protos[i], "9901");
+    lat_us[i] = RpcLatencyUs(lat_conn, 128, rounds);
+    auto tput_conn = Connect(w, protos[i], "9902");
+    tput_mbs[i] = ThroughputMBs(tput_conn, 8192, total);
+    std::printf("%-6s %22.1f %18.2f\n", protos[i], lat_us[i], tput_mbs[i]);
   }
   std::printf(
       "\npaper: IL 847 LoC vs TCP 2200 LoC; ours: see tools/loc.sh output in "
       "EXPERIMENTS.md.\nIL preserves delimiters (no framing layer needed for 9P); "
       "TCP needs the marshal module.\n");
+  if (json) {
+    std::ofstream out(json_path);
+    out << "{\"suite\": \"il_vs_tcp\",\n\"results\": [\n";
+    for (int i = 0; i < 2; i++) {
+      out << "  {\"proto\": \"" << protos[i] << "\", \"rpc_latency_us\": "
+          << lat_us[i] << ", \"throughput_mbs\": " << tput_mbs[i] << "}"
+          << (i == 0 ? ",\n" : "\n");
+    }
+    out << "],\n\"registry\": " << obs::MetricsRegistry::Default().RenderJson()
+        << "}\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -111,11 +111,11 @@ Conn Connect(World& w, Proc* sp, Proc* cp, const std::string& proto) {
 
 uint64_t ClientRetransmits(World& w, const std::string& proto) {
   if (proto == "il") {
-    auto s = static_cast<IlConv*>(w.helix->il()->Conv(0))->stats();
-    return s.retransmits;
+    const auto& s = static_cast<IlConv*>(w.helix->il()->Conv(0))->metrics();
+    return s.retransmits.value();
   }
-  auto s = static_cast<TcpConv*>(w.helix->tcp()->Conv(0))->stats();
-  return s.retransmit_segs;
+  const auto& s = static_cast<TcpConv*>(w.helix->tcp()->Conv(0))->metrics();
+  return s.retransmit_segs.value();
 }
 
 // --- experiment 1: uniform loss, streaming goodput -------------------------
@@ -174,16 +174,17 @@ RunResult Run(const std::string& proto, double loss, size_t messages, size_t msg
   // Pull retransmission stats from the client conversation (index found via
   // the protocol object: connection 0 is ours — the world is private).
   if (proto == "il") {
-    auto s = static_cast<IlConv*>(w.helix->il()->Conv(0))->stats();
-    r.overhead_ratio =
-        s.msgs_sent == 0
-            ? 0
-            : static_cast<double>(s.retransmits) / static_cast<double>(s.msgs_sent);
+    const auto& s = static_cast<IlConv*>(w.helix->il()->Conv(0))->metrics();
+    r.overhead_ratio = s.msgs_sent.value() == 0
+                           ? 0
+                           : static_cast<double>(s.retransmits.value()) /
+                                 static_cast<double>(s.msgs_sent.value());
   } else {
-    auto s = static_cast<TcpConv*>(w.helix->tcp()->Conv(0))->stats();
-    r.overhead_ratio = s.bytes_sent == 0 ? 0
-                                         : static_cast<double>(s.retransmit_bytes) /
-                                               static_cast<double>(s.bytes_sent);
+    const auto& s = static_cast<TcpConv*>(w.helix->tcp()->Conv(0))->metrics();
+    r.overhead_ratio = s.bytes_sent.value() == 0
+                           ? 0
+                           : static_cast<double>(s.retransmit_bytes.value()) /
+                                 static_cast<double>(s.bytes_sent.value());
   }
   (void)cp->Close(conn.client_fd);
   (void)sp->Close(conn.server_fd);
@@ -285,10 +286,11 @@ ProfileResult RunProfile(const std::string& proto, const FaultProfile& profile,
     r.p99_us = lat_us[std::min(lat_us.size() - 1, lat_us.size() * 99 / 100)];
   }
   r.retransmits = ClientRetransmits(w, proto);
-  auto ms = w.ether.stats();
-  r.loss_pct = ms.frames_sent == 0 ? 0
-                                   : 100.0 * static_cast<double>(ms.frames_dropped) /
-                                         static_cast<double>(ms.frames_sent);
+  const auto& ms = w.ether.stats();
+  r.loss_pct = ms.frames_sent.value() == 0
+                   ? 0
+                   : 100.0 * static_cast<double>(ms.frames_dropped.value()) /
+                         static_cast<double>(ms.frames_sent.value());
   r.goodput_kbs = static_cast<double>(2 * msg_size * lat_us.size()) / 1024.0 /
                   std::chrono::duration<double>(t1 - t0).count();
   (void)cp->Close(conn.client_fd);

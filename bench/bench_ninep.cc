@@ -7,6 +7,8 @@
 // 8K reads through the mount driver (the kernel's remote-file fast path).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_obs.h"
+
 #include <memory>
 
 #include "src/ninep/client.h"
@@ -136,4 +138,4 @@ BENCHMARK(BM_MountDriverRead8K);
 }  // namespace
 }  // namespace plan9
 
-BENCHMARK_MAIN();
+P9_BENCHMARK_MAIN("ninep");

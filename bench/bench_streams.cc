@@ -8,6 +8,8 @@
 // against the protocol-path costs bench_il_vs_tcp measures.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_obs.h"
+
 #include "src/stream/block.h"
 #include "src/stream/queue.h"
 #include "src/stream/stream.h"
@@ -114,4 +116,4 @@ BENCHMARK(BM_ControlBlockParse);
 }  // namespace
 }  // namespace plan9
 
-BENCHMARK_MAIN();
+P9_BENCHMARK_MAIN("streams");

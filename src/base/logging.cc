@@ -1,9 +1,14 @@
 #include "src/base/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "src/base/strings.h"
+#include "src/obs/trace.h"
+#include "src/task/kproc.h"
 
 namespace plan9 {
 namespace {
@@ -14,6 +19,10 @@ std::atomic<int> g_level{[] {
 }()};
 
 std::mutex g_log_mutex;
+std::string g_node;  // guarded by g_log_mutex
+
+const std::chrono::steady_clock::time_point g_log_epoch =
+    std::chrono::steady_clock::now();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,9 +48,41 @@ bool LogEnabled(LogLevel level) {
   return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
 }
 
-void LogLine(LogLevel level, const std::string& line) {
+void SetLogNode(const std::string& name) {
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), line.c_str());
+  g_node = name;
+}
+
+void LogLine(LogLevel level, const std::string& line) {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - g_log_epoch);
+  std::string who;
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    who = g_node;
+  }
+  if (who.empty()) {
+    who = Kproc::CurrentName();
+  } else {
+    who += "/" + Kproc::CurrentName();
+  }
+  // The flight-recorder hook must not recurse: recording takes a QLock whose
+  // diagnostics may themselves log.
+  thread_local bool in_log_hook = false;
+  auto& recorder = obs::FlightRecorder::Default();
+  if (!in_log_hook && recorder.enabled(obs::TraceKind::kLog)) {
+    in_log_hook = true;
+    recorder.Record(obs::TraceKind::kLog, who,
+                    StrFormat("%s %s", LevelName(level), line.c_str()));
+    in_log_hook = false;
+  }
+  std::string full =
+      StrFormat("[%4lld.%06lld] [%s] [%s] %s\n", (long long)(us.count() / 1000000),
+                (long long)(us.count() % 1000000), LevelName(level), who.c_str(),
+                line.c_str());
+  // One write call per line: writers never interleave mid-line.
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fwrite(full.data(), 1, full.size(), stderr);
 }
 
 }  // namespace plan9

@@ -22,6 +22,7 @@
 
 #include "src/base/thread_annotations.h"
 #include "src/ndb/ndb.h"
+#include "src/obs/metrics.h"
 #include "src/ninep/server.h"
 #include "src/ns/proc.h"
 #include "src/task/kproc.h"
@@ -41,8 +42,8 @@ class DnsResolver {
   Result<std::vector<std::string>> Resolve(const std::string& domain,
                                            const std::string& type = "ip");
 
-  uint64_t cache_hits() const { return cache_hits_.load(); }
-  uint64_t upstream_queries() const { return upstream_queries_.load(); }
+  uint64_t cache_hits() const { return cache_hits_.value(); }
+  uint64_t upstream_queries() const { return upstream_queries_.value(); }
 
  private:
   struct CacheLine {
@@ -59,8 +60,9 @@ class DnsResolver {
   QLock lock_{"dns.cache"};
   std::map<std::string, CacheLine> cache_ GUARDED_BY(lock_);
   // Atomic: bumped on the resolve path, read by unlocked stats accessors.
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> upstream_queries_{0};
+  // Registry-backed (net.dns.* aggregates in /net/stats).
+  obs::Counter cache_hits_;
+  obs::Counter upstream_queries_;
 };
 
 // The /net/dns file server: a one-file tree to union-mount onto /net.

@@ -241,14 +241,17 @@ Result<std::string> CycloneProto::InfoText(NetConv* conv, const std::string& fil
       return std::string("link: none\n");
     }
     Wire::End rx_end = tx_end == Wire::kA ? Wire::kB : Wire::kA;
-    MediaStats tx = wire->stats(tx_end);
-    MediaStats rx = wire->stats(rx_end);
+    const MediaStats& tx = wire->stats(tx_end);
+    const MediaStats& rx = wire->stats(rx_end);
     std::string out = StrFormat("link: %d\n", link);
-    out += StrFormat("out: %llu\n", static_cast<unsigned long long>(tx.frames_sent));
-    out += StrFormat("in: %llu\n", static_cast<unsigned long long>(rx.frames_delivered));
+    out += StrFormat("out: %llu\n",
+                     static_cast<unsigned long long>(tx.frames_sent.value()));
+    out += StrFormat("in: %llu\n",
+                     static_cast<unsigned long long>(rx.frames_delivered.value()));
     out += StrFormat("drop: %llu\n",
-                     static_cast<unsigned long long>(tx.frames_dropped));
-    out += StrFormat("oerrs: %llu\n", static_cast<unsigned long long>(tx.send_errors));
+                     static_cast<unsigned long long>(tx.frames_dropped.value()));
+    out += StrFormat("oerrs: %llu\n",
+                     static_cast<unsigned long long>(tx.send_errors.value()));
     out += FormatFaultStats(wire->fault_stats(tx_end), "tx-fault-");
     out += FormatFaultStats(wire->fault_stats(rx_end), "rx-fault-");
     return out;

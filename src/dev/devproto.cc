@@ -3,12 +3,17 @@
 #include <algorithm>
 
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
 namespace {
 
 // Qid layout: [proto+1 : bits 20..27][conv+1 : bits 8..19][file kind : bits 0..7]
+// Root-level observability files use the low qids 2..5 (proto qids start at
+// 1<<20, so the space is free).
 uint32_t QidRoot() { return 1; }
+uint32_t QidObsFile(size_t kind) { return static_cast<uint32_t>(kind + 2); }
 uint32_t QidProto(size_t p) { return static_cast<uint32_t>(p + 1) << 20; }
 uint32_t QidClone(size_t p) { return QidProto(p) | 1; }
 uint32_t QidConv(size_t p, size_t c) { return QidProto(p) | static_cast<uint32_t>(c + 1) << 8; }
@@ -23,6 +28,64 @@ Result<std::string> SliceText(const std::string& text, uint64_t offset, uint32_t
 
 class ProtoDirVnode;
 class ConvDirVnode;
+
+// The /net-level observability files (tentpole): every node exports its
+// metrics registry and flight recorder the same way the LANCE driver exports
+// its stats file — as text, readable by cat, importable across machines.
+//   /net/stats  the metrics registry, `key value` per line
+//   /net/trace  the flight recorder ring, oldest first
+//   /net/log    kLog events only (P9_LOG lines routed when tracing is on)
+//   /net/ctl    writable: "trace on [kind...]", "trace off", "clear"
+constexpr const char* kObsFiles[] = {"stats", "trace", "log", "ctl"};
+constexpr size_t kObsFileCount = 4;
+
+class ObsFileVnode : public Vnode {
+ public:
+  explicit ObsFileVnode(size_t kind) : kind_(kind) {}
+
+  Qid qid() override { return Qid{QidObsFile(kind_), 0}; }
+
+  Result<Dir> Stat() override {
+    Dir d;
+    d.name = kObsFiles[kind_];
+    d.qid = qid();
+    d.mode = d.name == "ctl" ? 0666 : 0444;
+    d.type = 'I';
+    return d;
+  }
+
+  Result<std::shared_ptr<Vnode>> Walk(const std::string& name) override {
+    return Error(kErrNotDir);
+  }
+
+  Result<Bytes> Read(uint64_t offset, uint32_t count) override {
+    std::string text;
+    const std::string name = kObsFiles[kind_];
+    if (name == "stats") {
+      text = obs::MetricsRegistry::Default().RenderText();
+    } else if (name == "trace") {
+      text = obs::FlightRecorder::Default().RenderText();
+    } else if (name == "log") {
+      text = obs::FlightRecorder::Default().RenderText(
+          static_cast<uint32_t>(obs::TraceKind::kLog));
+    } else {  // ctl reads back the current mask as a ctl-writable line
+      text = StrFormat("trace mask %#x\n", obs::FlightRecorder::Default().mask());
+    }
+    auto sliced = SliceText(text, offset, count);
+    return ToBytes(*sliced);
+  }
+
+  Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
+    if (std::string(kObsFiles[kind_]) != "ctl") {
+      return Error(kErrPerm);
+    }
+    P9_RETURN_IF_ERROR(obs::FlightRecorder::Default().Ctl(ToString(data)));
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  size_t kind_;
+};
 
 // ---------------------------------------------------------------------------
 
@@ -367,6 +430,11 @@ class NetRootVnode : public Vnode, public std::enable_shared_from_this<NetRootVn
     if (name == "." || name == "..") {
       return std::shared_ptr<Vnode>(shared_from_this());
     }
+    for (size_t k = 0; k < kObsFileCount; k++) {
+      if (name == kObsFiles[k]) {
+        return std::shared_ptr<Vnode>(std::make_shared<ObsFileVnode>(k));
+      }
+    }
     for (size_t p = 0; p < entries_->size(); p++) {
       if ((*entries_)[p].proto->name() == name) {
         return std::shared_ptr<Vnode>(std::make_shared<ProtoDirVnode>(
@@ -378,6 +446,14 @@ class NetRootVnode : public Vnode, public std::enable_shared_from_this<NetRootVn
 
   Result<Bytes> Read(uint64_t offset, uint32_t count) override {
     std::vector<Dir> entries;
+    for (size_t k = 0; k < kObsFileCount; k++) {
+      Dir d;
+      d.name = kObsFiles[k];
+      d.qid = Qid{QidObsFile(k), 0};
+      d.mode = d.name == "ctl" ? 0666 : 0444;
+      d.type = 'I';
+      entries.push_back(std::move(d));
+    }
     for (size_t p = 0; p < entries_->size(); p++) {
       Dir d;
       d.name = (*entries_)[p].proto->name();

@@ -5,6 +5,19 @@
 
 namespace plan9 {
 
+EtherConvMetrics::EtherConvMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  frames_in.BindParent(&r.CounterNamed("net.ether.frames-in"));
+  frames_out.BindParent(&r.CounterNamed("net.ether.frames-out"));
+  drops.BindParent(&r.CounterNamed("net.ether.drops"));
+}
+
+void EtherConvMetrics::Reset() {
+  frames_in.Reset();
+  frames_out.Reset();
+  drops.Reset();
+}
+
 // Stream device module: writes become transmissions.  The user supplies
 // [6-byte destination][payload]; the driver prepends the source address and
 // the connection's packet type.
@@ -33,10 +46,7 @@ class EtherConv::Module : public StreamModule {
     MacAddr dst;
     std::copy_n(frame.begin(), 6, dst.begin());
     Bytes payload(frame.begin() + 6, frame.end());
-    {
-      QLockGuard guard(conv_->lock_);
-      conv_->out_count_++;
-    }
+    conv_->metrics_.frames_out.Inc();
     (void)conv_->proto_->Transmit(
         dst, *type < 0 ? uint16_t{0} : static_cast<uint16_t>(*type), std::move(payload));
   }
@@ -56,7 +66,7 @@ void EtherConv::Recycle() {
   stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
   type_.reset();
   promiscuous_ = false;
-  in_count_ = out_count_ = drop_count_ = 0;
+  metrics_.Reset();
   in_use_ = true;
 }
 
@@ -107,8 +117,8 @@ std::string EtherConv::StatusText() {
   QLockGuard guard(lock_);
   return StrFormat("ether/%d %d type %d in %llu out %llu\n", index_, refs.load(),
                    type_.has_value() ? *type_ : -2,
-                   static_cast<unsigned long long>(in_count_),
-                   static_cast<unsigned long long>(out_count_));
+                   static_cast<unsigned long long>(metrics_.frames_in.value()),
+                   static_cast<unsigned long long>(metrics_.frames_out.value()));
 }
 
 void EtherConv::CloseUser() {
@@ -140,10 +150,10 @@ void EtherConv::Deliver(const EtherFrame& frame) {
     }
     // Bounded input queueing: NICs drop when software lags.
     if (stream_->head_queue().byte_count() > 512 * 1024) {
-      drop_count_++;
+      metrics_.drops.Inc();
       return;
     }
-    in_count_++;
+    metrics_.frames_in.Inc();
   }
   // Readers see the whole frame: dst, src, type, payload.
   stream_->DeliverUp(MakeDataBlock(frame.Pack(), /*delim=*/true));
@@ -201,13 +211,17 @@ Result<std::string> EtherProto::InfoText(NetConv* conv, const std::string& file)
     // "The stats file returns ASCII text containing the interface address,
     // packet input/output counts, error statistics, and general information
     // about the state of the interface."
-    MediaStats s = segment_->stats();
+    const MediaStats& s = segment_->stats();
     std::string out;
     out += StrFormat("addr: %s\n", MacToString(mac_).c_str());
-    out += StrFormat("in: %llu\n", static_cast<unsigned long long>(s.frames_delivered));
-    out += StrFormat("out: %llu\n", static_cast<unsigned long long>(s.frames_sent));
-    out += StrFormat("drop: %llu\n", static_cast<unsigned long long>(s.frames_dropped));
-    out += StrFormat("oerrs: %llu\n", static_cast<unsigned long long>(s.send_errors));
+    out += StrFormat("in: %llu\n",
+                     static_cast<unsigned long long>(s.frames_delivered.value()));
+    out += StrFormat("out: %llu\n",
+                     static_cast<unsigned long long>(s.frames_sent.value()));
+    out += StrFormat("drop: %llu\n",
+                     static_cast<unsigned long long>(s.frames_dropped.value()));
+    out += StrFormat("oerrs: %llu\n",
+                     static_cast<unsigned long long>(s.send_errors.value()));
     out += FormatFaultStats(segment_->fault_stats());
     out += ec->StatusText();
     return out;

@@ -27,12 +27,24 @@
 #include "src/base/thread_annotations.h"
 #include "src/dev/devproto.h"
 #include "src/inet/netproto.h"
+#include "src/obs/metrics.h"
 #include "src/sim/ether_segment.h"
 #include "src/task/qlock.h"
 
 namespace plan9 {
 
 class EtherProto;
+
+// Registry-backed interface counters (net.ether.* aggregates in /net/stats).
+struct EtherConvMetrics {
+  EtherConvMetrics();
+
+  obs::Counter frames_in;
+  obs::Counter frames_out;
+  obs::Counter drops;  // input overruns: software lagged the cable
+
+  void Reset();  // this conversation only
+};
 
 class EtherConv : public NetConv {
  public:
@@ -62,9 +74,7 @@ class EtherConv : public NetConv {
   std::optional<int32_t> type_ GUARDED_BY(lock_);  // -1 = all packets
   bool promiscuous_ GUARDED_BY(lock_) = false;
   bool in_use_ GUARDED_BY(lock_) = false;
-  uint64_t in_count_ GUARDED_BY(lock_) = 0;
-  uint64_t out_count_ GUARDED_BY(lock_) = 0;
-  uint64_t drop_count_ GUARDED_BY(lock_) = 0;
+  EtherConvMetrics metrics_;  // atomic counters; no lock needed
 };
 
 class EtherProto : public NetProto, public ProtoFiles {
@@ -82,7 +92,7 @@ class EtherProto : public NetProto, public ProtoFiles {
 
   // ProtoFiles: Figure 1's per-connection files.
   std::vector<std::string> ConvFileNames() override {
-    return {"ctl", "data", "stats", "type"};
+    return {"ctl", "data", "stats", "status", "type"};
   }
   Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
 

@@ -6,9 +6,29 @@
 
 #include "src/base/rand.h"
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
 namespace {
+
+// Process-wide dial counters (net.dial.* in /net/stats).
+struct DialCounters {
+  DialCounters() {
+    auto& r = obs::MetricsRegistry::Default();
+    attempts = &r.CounterNamed("net.dial.attempts");
+    successes = &r.CounterNamed("net.dial.successes");
+    failures = &r.CounterNamed("net.dial.failures");
+  }
+  obs::Counter* attempts;
+  obs::Counter* successes;
+  obs::Counter* failures;
+};
+
+DialCounters& Counters() {
+  static DialCounters* c = new DialCounters;
+  return *c;
+}
 
 // Closes the held fd on every exit path; Release() hands ownership back to
 // the caller on success.  Every early return below leaks nothing.
@@ -113,6 +133,8 @@ Result<int> CloneAndCtl(Proc* p, const Candidate& cand, std::string* conn_dir) {
 // One full pass over the translated candidates: the classic single-attempt
 // dial.  On failure every fd opened along the way is closed.
 Result<int> DialOnce(Proc* p, const std::string& dest, std::string* dir, int* cfd) {
+  Counters().attempts->Inc();
+  P9_TRACE(obs::TraceKind::kDial, "dial", dest);
   P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
                       Translate(p, dest, /*announce=*/false));
   Error last{std::string(kErrBadAddr)};
@@ -137,8 +159,12 @@ Result<int> DialOnce(Proc* p, const std::string& dest, std::string* dir, int* cf
     if (cfd != nullptr) {
       *cfd = ctl.Release();
     }
+    Counters().successes->Inc();
     return dfd;
   }
+  Counters().failures->Inc();
+  P9_TRACE(obs::TraceKind::kDial, "dial",
+           StrFormat("%s failed: %s", dest.c_str(), last.message().c_str()));
   return last;
 }
 

@@ -61,6 +61,27 @@ class DkConv::Module : public StreamModule {
   Bytes pending_;
 };
 
+UrpMetrics::UrpMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  cells_sent.BindParent(&r.CounterNamed("net.dk.cells-sent"));
+  cells_received.BindParent(&r.CounterNamed("net.dk.cells-rcvd"));
+  retransmits.BindParent(&r.CounterNamed("net.dk.resends"));
+  msgs_sent.BindParent(&r.CounterNamed("net.dk.msgs-sent"));
+  msgs_received.BindParent(&r.CounterNamed("net.dk.msgs-rcvd"));
+  bytes_sent.BindParent(&r.CounterNamed("net.dk.bytes-sent"));
+  bytes_received.BindParent(&r.CounterNamed("net.dk.bytes-rcvd"));
+}
+
+void UrpMetrics::Reset() {
+  cells_sent.Reset();
+  cells_received.Reset();
+  retransmits.Reset();
+  msgs_sent.Reset();
+  msgs_received.Reset();
+  bytes_sent.Reset();
+  bytes_received.Reset();
+}
+
 DkConv::DkConv(DkProto* proto, int index) : proto_(proto) {
   index_ = index;
   stream_ = std::make_unique<Stream>(std::make_unique<Module>(this));
@@ -91,7 +112,7 @@ void DkConv::Recycle() {
   partial_.clear();
   pending_.clear();
   err_.clear();
-  stats_ = UrpStats{};
+  metrics_.Reset();
 }
 
 Status DkConv::Ctl(const std::string& msg) {
@@ -238,13 +259,12 @@ std::string DkConv::Remote() {
 
 std::string DkConv::StatusText() {
   QLockGuard guard(lock_);
-  return StrFormat("dk/%d %d %s %s\n", index_, refs.load(), StateName(state_),
-                   remote_addr_.empty() ? "announce" : "connect");
-}
-
-UrpStats DkConv::stats() {
-  QLockGuard guard(lock_);
-  return stats_;
+  return StrFormat("dk/%d %d %s %s %s tx %llu rx %llu\n", index_, refs.load(),
+                   StateName(state_), remote_addr_.empty() ? "announce" : "connect",
+                   remote_addr_.empty() ? announced_service_.c_str()
+                                        : remote_addr_.c_str(),
+                   static_cast<unsigned long long>(metrics_.bytes_sent.value()),
+                   static_cast<unsigned long long>(metrics_.bytes_received.value()));
 }
 
 void DkConv::CloseUser() {
@@ -313,7 +333,8 @@ Status DkConv::SendMessage(const Bytes& msg) {
                     msg.begin() + static_cast<long>(off + len));
     out_.push_back(std::move(cell));
   }
-  stats_.msgs_sent++;
+  metrics_.msgs_sent.Inc();
+  metrics_.bytes_sent.Inc(msg.size());
   PumpLocked();
   return Status::Ok();
 }
@@ -333,7 +354,7 @@ void DkConv::PumpLocked() {
     send_seq_ = (send_seq_ + 1) & 7;
     cell.sent = true;
     inflight++;
-    stats_.cells_sent++;
+    metrics_.cells_sent.Inc();
     (void)circuit_->Send(end_, cell.raw);
   }
   if (send_una_ != send_seq_ && timer_ == kNoTimer) {
@@ -367,7 +388,7 @@ void DkConv::TimerFire() {
     if (!cell.sent) {
       break;
     }
-    stats_.retransmits++;
+    metrics_.retransmits.Inc();
     (void)circuit_->Send(end_, cell.raw);
   }
   ArmTimerLocked();
@@ -383,7 +404,7 @@ void DkConv::CircuitInput(Bytes cell) {
     uint8_t type = cell[0];
     uint8_t seq = cell[1];
     uint8_t flags = cell[2];
-    stats_.cells_received++;
+    metrics_.cells_received.Inc();
     if (type == kTypeAck) {
       // Cumulative ack: seq = next cell the peer expects.
       while (send_una_ != seq && send_una_ != send_seq_) {
@@ -409,7 +430,8 @@ void DkConv::CircuitInput(Bytes cell) {
         }
         partial_.insert(partial_.end(), cell.begin() + kCellHeader, cell.end());
         if (flags & kFlagEot) {
-          stats_.msgs_received++;
+          metrics_.msgs_received.Inc();
+          metrics_.bytes_received.Inc(partial_.size());
           deliveries.push_back(MakeDataBlock(std::move(partial_), /*delim=*/true));
           partial_ = Bytes{};
         }

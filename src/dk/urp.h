@@ -21,6 +21,7 @@
 
 #include "src/base/thread_annotations.h"
 #include "src/inet/netproto.h"
+#include "src/obs/metrics.h"
 #include "src/sim/datakit.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
@@ -28,12 +29,19 @@
 
 namespace plan9 {
 
-struct UrpStats {
-  uint64_t cells_sent = 0;
-  uint64_t cells_received = 0;
-  uint64_t retransmits = 0;
-  uint64_t msgs_sent = 0;
-  uint64_t msgs_received = 0;
+// Registry-backed URP counters (net.dk.* aggregates in /net/stats).
+struct UrpMetrics {
+  UrpMetrics();
+
+  obs::Counter cells_sent;
+  obs::Counter cells_received;
+  obs::Counter retransmits;
+  obs::Counter msgs_sent;
+  obs::Counter msgs_received;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_received;
+
+  void Reset();  // this conversation only
 };
 
 class DkProto;
@@ -57,7 +65,7 @@ class DkConv : public NetConv {
   std::string StatusText() override;
   void CloseUser() override;
 
-  UrpStats stats();
+  const UrpMetrics& metrics() const { return metrics_; }
 
  private:
   friend class DkProto;
@@ -110,7 +118,7 @@ class DkConv : public NetConv {
 
   std::deque<int> pending_ GUARDED_BY(lock_);
   std::string err_ GUARDED_BY(lock_);
-  UrpStats stats_ GUARDED_BY(lock_);
+  UrpMetrics metrics_;  // atomic counters; no lock needed
 };
 
 class DkProto : public NetProto {

@@ -6,9 +6,17 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
 namespace {
+
+// IL RTT samples feed this histogram (microseconds), next to the adaptive
+// timeout state that consumes them.
+obs::Histogram& IlRttHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Default().HistogramNamed("net.il.rtt");
+  return h;
+}
 
 constexpr size_t kIlHeaderSize = 18;
 
@@ -60,6 +68,35 @@ const char* StateName(IlConv::State s) {
 }
 
 }  // namespace
+
+IlConvMetrics::IlConvMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  msgs_sent.BindParent(&r.CounterNamed("net.il.msgs-sent"));
+  msgs_received.BindParent(&r.CounterNamed("net.il.msgs-rcvd"));
+  bytes_sent.BindParent(&r.CounterNamed("net.il.bytes-sent"));
+  bytes_received.BindParent(&r.CounterNamed("net.il.bytes-rcvd"));
+  retransmits.BindParent(&r.CounterNamed("net.il.resends"));
+  queries_sent.BindParent(&r.CounterNamed("net.il.queries"));
+  states_sent.BindParent(&r.CounterNamed("net.il.states"));
+  dups_dropped.BindParent(&r.CounterNamed("net.il.dups"));
+  out_of_window.BindParent(&r.CounterNamed("net.il.outwin"));
+  keepalives_sent.BindParent(&r.CounterNamed("net.il.keepalives"));
+  deadman_closes.BindParent(&r.CounterNamed("net.il.deadman"));
+}
+
+void IlConvMetrics::Reset() {
+  msgs_sent.Reset();
+  msgs_received.Reset();
+  bytes_sent.Reset();
+  bytes_received.Reset();
+  retransmits.Reset();
+  queries_sent.Reset();
+  states_sent.Reset();
+  dups_dropped.Reset();
+  out_of_window.Reset();
+  keepalives_sent.Reset();
+  deadman_closes.Reset();
+}
 
 // Stream device module: delimited messages from the user become IL messages.
 class IlConv::Module : public StreamModule {
@@ -121,7 +158,7 @@ void IlConv::Recycle() {
   unanswered_queries_ = 0;
   pending_.clear();
   err_.clear();
-  stats_ = IlConvStats{};
+  metrics_.Reset();
 }
 
 Status IlConv::Ctl(const std::string& msg) {
@@ -229,16 +266,21 @@ std::string IlConv::Remote() {
 
 std::string IlConv::StatusText() {
   QLockGuard guard(lock_);
-  return StrFormat("il/%d %d %s rtt %lld us unacked %zu\n", index_, refs.load(),
-                   StateName(state_), static_cast<long long>(srtt_.count()),
-                   unacked_.size());
+  // The paper's one-line conversation summary: state, local/remote address,
+  // bytes each way (plus IL's adaptive-timeout state for good measure).
+  Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
+  return StrFormat("il/%d %d %s %s!%u %s!%u tx %llu rx %llu rtt %lld us unacked %zu\n",
+                   index_, refs.load(), StateName(state_),
+                   IpToString(shown).c_str(), lport_, IpToString(raddr_).c_str(),
+                   rport_,
+                   static_cast<unsigned long long>(metrics_.bytes_sent.value()),
+                   static_cast<unsigned long long>(metrics_.bytes_received.value()),
+                   static_cast<long long>(srtt_.count()), unacked_.size());
 }
 
-IlConvStats IlConv::stats() {
+std::chrono::microseconds IlConv::Srtt() {
   QLockGuard guard(lock_);
-  IlConvStats s = stats_;
-  s.srtt = srtt_;
-  return s;
+  return srtt_;
 }
 
 void IlConv::CloseUser() {
@@ -314,7 +356,10 @@ Status IlConv::SendMessage(const Bytes& payload) {
   }
   uint32_t id = next_++;
   unacked_.push_back(Unacked{id, payload, TimerWheel::Clock::now(), false});
-  stats_.msgs_sent++;
+  metrics_.msgs_sent.Inc();
+  metrics_.bytes_sent.Inc(payload.size());
+  P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_),
+           StrFormat("send id=%u len=%zu", id, payload.size()));
   Status s = EmitLocked(IlType::kData, id, recvd_, payload);
   if (unacked_.size() == 1) {
     // First outstanding message: the pending timer (if any) is ticking at
@@ -355,6 +400,7 @@ std::chrono::microseconds IlConv::RtoLocked() const {
 }
 
 void IlConv::RttSampleLocked(std::chrono::microseconds sample) {
+  IlRttHistogram().Record(static_cast<uint64_t>(sample.count()));
   // Van Jacobson smoothing, as adaptive as the paper demands.
   if (srtt_.count() == 0) {
     srtt_ = sample;
@@ -394,7 +440,8 @@ void IlConv::TimerFire() {
       break;
     case State::kEstablished:
       if (unanswered_queries_ >= kDeadmanQueries) {
-        stats_.deadman_closes++;
+        metrics_.deadman_closes.Inc();
+        P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_), "deadman close");
         state_ = State::kClosed;
         err_ = kErrTimedOut;
         HangupLocked();
@@ -408,7 +455,7 @@ void IlConv::TimerFire() {
         // feed the same deadman; any packet from the peer resets it, so an
         // idle connection rides out partitions shorter than the full
         // ladder (~kDeadmanQueries * kKeepaliveTime).
-        stats_.keepalives_sent++;
+        metrics_.keepalives_sent.Inc();
         unanswered_queries_++;
         (void)EmitLocked(IlType::kQuery, next_ - 1, recvd_, {});
         ArmTimerLocked(kKeepaliveTime);
@@ -422,8 +469,10 @@ void IlConv::TimerFire() {
       }
       // "In contrast to other protocols, IL does not do blind retransmission.
       // If a message is lost and a timeout occurs, a query message is sent."
-      stats_.queries_sent++;
+      metrics_.queries_sent.Inc();
       unanswered_queries_++;
+      P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_),
+               StrFormat("query recvd=%u unacked=%zu", recvd_, unacked_.size()));
       (void)EmitLocked(IlType::kQuery, next_ - 1, recvd_, {});
       ArmTimerLocked(RtoLocked());
       break;
@@ -450,6 +499,8 @@ void IlConv::TimerFire() {
 }
 
 void IlConv::HandleAckLocked(uint32_t ack) {
+  P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_),
+           StrFormat("ack %u", ack));
   bool advanced = false;
   bool first = true;
   while (!unacked_.empty() && static_cast<int32_t>(ack - unacked_.front().id) >= 0) {
@@ -481,23 +532,25 @@ void IlConv::DeliverDataLocked(uint32_t id, Bytes payload, bool is_query,
                                std::vector<BlockPtr>* deliveries) {
   int32_t delta = static_cast<int32_t>(id - recvd_);
   if (delta <= 0) {
-    stats_.dups_dropped++;
+    metrics_.dups_dropped.Inc();
     return;
   }
   if (delta > static_cast<int32_t>(kWindow)) {
     // "messages outside the window are discarded and must be retransmitted"
-    stats_.out_of_window++;
+    metrics_.out_of_window.Inc();
     return;
   }
   if (delta == 1) {
     recvd_ = id;
-    stats_.msgs_received++;
+    metrics_.msgs_received.Inc();
+    metrics_.bytes_received.Inc(payload.size());
     deliveries->push_back(MakeDataBlock(std::move(payload), /*delim=*/true));
     // Drain any buffered successors.
     auto it = out_of_order_.find(recvd_ + 1);
     while (it != out_of_order_.end()) {
       recvd_++;
-      stats_.msgs_received++;
+      metrics_.msgs_received.Inc();
+      metrics_.bytes_received.Inc(it->second.size());
       deliveries->push_back(MakeDataBlock(std::move(it->second), /*delim=*/true));
       out_of_order_.erase(it);
       it = out_of_order_.find(recvd_ + 1);
@@ -548,7 +601,7 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
           state_ = State::kEstablished;
           backoff_ = 0;
           sync_tries_ = 0;
-          stats_.states_sent++;
+          metrics_.states_sent.Inc();
           (void)EmitLocked(IlType::kState, next_ - 1, recvd_, {});
           wake_ready = true;
         } else if (type == IlType::kSync) {
@@ -578,7 +631,7 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
               // A gap: volunteer our state so the sender can repair the
               // hole without waiting out its timer (still no blind
               // retransmission — the sender resends only what's missing).
-              stats_.states_sent++;
+              metrics_.states_sent.Inc();
               (void)EmitLocked(IlType::kState, next_ - 1, recvd_, {});
             }
             break;
@@ -588,7 +641,7 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
             break;
           case IlType::kQuery: {
             // "The receiver responds to a query" with its current state...
-            stats_.states_sent++;
+            metrics_.states_sent.Inc();
             HandleAckLocked(ack);
             (void)EmitLocked(IlType::kState, next_ - 1, recvd_, {});
             break;
@@ -610,7 +663,9 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
                   unacked_.front().id != last_rexmit_id_) {
                 auto& msg = unacked_.front();
                 msg.retransmitted = true;
-                stats_.retransmits++;
+                metrics_.retransmits.Inc();
+                P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_),
+                         StrFormat("resend id=%u len=%zu", msg.id, msg.payload.size()));
                 last_rexmit_ = now;
                 last_rexmit_id_ = msg.id;
                 (void)EmitLocked(IlType::kDataQuery, msg.id, recvd_, msg.payload);
@@ -727,21 +782,24 @@ size_t IlProto::ConvCount() {
 
 Result<std::string> IlProto::InfoText(NetConv* conv, const std::string& file) {
   if (file == "stats") {
-    IlConvStats s = static_cast<IlConv*>(conv)->stats();
+    IlConv* c = static_cast<IlConv*>(conv);
+    const IlConvMetrics& m = c->metrics();
     std::string out;
-    auto line = [&](const char* key, uint64_t v) {
-      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v));
+    auto line = [&](const char* key, const obs::Counter& v) {
+      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v.value()));
     };
-    line("sent", s.msgs_sent);
-    line("rcvd", s.msgs_received);
-    line("rexmit", s.retransmits);
-    line("queries", s.queries_sent);
-    line("states", s.states_sent);
-    line("dup", s.dups_dropped);
-    line("outwin", s.out_of_window);
-    line("keepalives", s.keepalives_sent);
-    line("deadman", s.deadman_closes);
-    out += StrFormat("rtt: %lld us\n", static_cast<long long>(s.srtt.count()));
+    line("sent", m.msgs_sent);
+    line("rcvd", m.msgs_received);
+    line("txbytes", m.bytes_sent);
+    line("rxbytes", m.bytes_received);
+    line("rexmit", m.retransmits);
+    line("queries", m.queries_sent);
+    line("states", m.states_sent);
+    line("dup", m.dups_dropped);
+    line("outwin", m.out_of_window);
+    line("keepalives", m.keepalives_sent);
+    line("deadman", m.deadman_closes);
+    out += StrFormat("rtt: %lld us\n", static_cast<long long>(c->Srtt().count()));
     return out;
   }
   return ProtoFiles::InfoText(conv, file);

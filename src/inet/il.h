@@ -32,6 +32,7 @@
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
+#include "src/obs/metrics.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
 #include "src/task/timers.h"
@@ -48,17 +49,25 @@ enum class IlType : uint8_t {
   kClose = 6,
 };
 
-struct IlConvStats {
-  uint64_t msgs_sent = 0;
-  uint64_t msgs_received = 0;
-  uint64_t retransmits = 0;
-  uint64_t queries_sent = 0;
-  uint64_t states_sent = 0;
-  uint64_t dups_dropped = 0;
-  uint64_t out_of_window = 0;
-  uint64_t keepalives_sent = 0;  // idle-connection probes
-  uint64_t deadman_closes = 0;   // killed after too many unanswered queries
-  std::chrono::microseconds srtt{0};
+// Per-conversation counters, registry-backed: each increment also feeds the
+// process-wide net.il.* aggregate in /net/stats.  Atomic, so readable
+// without the conversation lock.
+struct IlConvMetrics {
+  IlConvMetrics();
+
+  obs::Counter msgs_sent;
+  obs::Counter msgs_received;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_received;
+  obs::Counter retransmits;
+  obs::Counter queries_sent;
+  obs::Counter states_sent;
+  obs::Counter dups_dropped;
+  obs::Counter out_of_window;
+  obs::Counter keepalives_sent;  // idle-connection probes
+  obs::Counter deadman_closes;   // killed after too many unanswered queries
+
+  void Reset();  // this conversation only; the aggregates keep counting
 };
 
 class IlProto;
@@ -89,7 +98,8 @@ class IlConv : public NetConv {
   std::string StatusText() override;
   void CloseUser() override;
 
-  IlConvStats stats();
+  const IlConvMetrics& metrics() const { return metrics_; }
+  std::chrono::microseconds Srtt();
 
  private:
   friend class IlProto;
@@ -165,7 +175,7 @@ class IlConv : public NetConv {
 
   std::deque<int> pending_ GUARDED_BY(lock_);  // incoming calls (listening conv)
   std::string err_ GUARDED_BY(lock_);          // why the conversation died
-  IlConvStats stats_ GUARDED_BY(lock_);
+  IlConvMetrics metrics_;  // atomic counters; no lock needed
 };
 
 class IlProto : public NetProto, public ProtoFiles {

@@ -78,6 +78,19 @@ struct IpStack::Reassembly {
   uint8_t proto = 0, ttl = 0;
 };
 
+IpMetrics::IpMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  packets_sent.BindParent(&r.CounterNamed("net.ip.packets-sent"));
+  packets_received.BindParent(&r.CounterNamed("net.ip.packets-rcvd"));
+  packets_forwarded.BindParent(&r.CounterNamed("net.ip.forwarded"));
+  fragments_sent.BindParent(&r.CounterNamed("net.ip.frags-sent"));
+  fragments_received.BindParent(&r.CounterNamed("net.ip.frags-rcvd"));
+  reassembly_drops.BindParent(&r.CounterNamed("net.ip.reassembly-drops"));
+  no_route.BindParent(&r.CounterNamed("net.ip.no-route"));
+  bad_header.BindParent(&r.CounterNamed("net.ip.bad-header"));
+  unknown_proto.BindParent(&r.CounterNamed("net.ip.unknown-proto"));
+}
+
 IpStack::IpStack() : alive_(std::make_shared<std::atomic<bool>>(true)) {
   auto alive = alive_;
   // Periodic reassembly-buffer sweep.
@@ -119,7 +132,7 @@ void IpStack::SweepReassembly() {
     auto now = TimerWheel::Clock::now();
     for (auto it = reassembly_.begin(); it != reassembly_.end();) {
       if (it->second.deadline < now) {
-        stats_.reassembly_drops++;
+        stats_.reassembly_drops.Inc();
         it = reassembly_.erase(it);
       } else {
         ++it;
@@ -251,11 +264,6 @@ Ipv4Addr IpStack::PrimaryAddr() {
   return interfaces_.empty() ? Ipv4Addr{} : interfaces_[0]->addr;
 }
 
-IpStats IpStack::stats() {
-  QLockGuard guard(lock_);
-  return stats_;
-}
-
 Status IpStack::Send(uint8_t proto, Ipv4Addr src, Ipv4Addr dst, const Bytes& payload) {
   return Output(src, dst, proto, kDefaultTtl, payload);
 }
@@ -265,7 +273,7 @@ Status IpStack::Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl,
   QLockGuard guard(lock_);
   auto route = Lookup(dst);
   if (!route.ok()) {
-    stats_.no_route++;
+    stats_.no_route.Inc();
     return route.error();
   }
   Interface& ifc = *interfaces_[static_cast<size_t>((*route)->ifc_index)];
@@ -300,12 +308,12 @@ Status IpStack::Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl,
     Put16(h + 10, InetChecksum(h, kIpHeaderSize));
     std::memcpy(pkt.data() + kIpHeaderSize, payload.data() + offset, chunk);
     if (more || offset != 0) {
-      stats_.fragments_sent++;
+      stats_.fragments_sent.Inc();
     }
     P9_RETURN_IF_ERROR(SendOnInterface(ifc, next_hop, pkt));
     offset += chunk;
   } while (offset < payload.size());
-  stats_.packets_sent++;
+  stats_.packets_sent.Inc();
   return Status::Ok();
 }
 
@@ -424,24 +432,24 @@ void IpStack::ArpInput(size_t ifc_index, const EtherFrame& frame) {
 void IpStack::IpInput(size_t ifc_index, const Bytes& raw) {
   if (raw.size() < kIpHeaderSize) {
     QLockGuard guard(lock_);
-    stats_.bad_header++;
+    stats_.bad_header.Inc();
     return;
   }
   const uint8_t* h = raw.data();
   if ((h[0] >> 4) != 4 || (h[0] & 0xf) != 5) {
     QLockGuard guard(lock_);
-    stats_.bad_header++;
+    stats_.bad_header.Inc();
     return;
   }
   uint16_t total_len = Get16(h + 2);
   if (total_len < kIpHeaderSize || total_len > raw.size()) {
     QLockGuard guard(lock_);
-    stats_.bad_header++;
+    stats_.bad_header.Inc();
     return;
   }
   if (InetChecksum(h, kIpHeaderSize) != 0) {
     QLockGuard guard(lock_);
-    stats_.bad_header++;
+    stats_.bad_header.Inc();
     return;
   }
   uint16_t ident = Get16(h + 4);
@@ -480,7 +488,7 @@ void IpStack::IpInput(size_t ifc_index, const Bytes& raw) {
     if (fwd && pkt.ttl > 1) {
       {
         QLockGuard guard(lock_);
-        stats_.packets_forwarded++;
+        stats_.packets_forwarded.Inc();
       }
       (void)Output(pkt.src, pkt.dst, pkt.proto, static_cast<uint8_t>(pkt.ttl - 1),
                    pkt.payload);
@@ -491,7 +499,7 @@ void IpStack::IpInput(size_t ifc_index, const Bytes& raw) {
   if (more_frags || frag_off != 0) {
     // Reassemble.
     QLockGuard guard(lock_);
-    stats_.fragments_received++;
+    stats_.fragments_received.Inc();
     uint64_t key = static_cast<uint64_t>(pkt.src.v) << 32 |
                    static_cast<uint64_t>(ident) << 8 | pkt.proto;
     Reassembly& re = reassembly_[key];
@@ -541,10 +549,10 @@ void IpStack::Deliver(const IpPacket& pkt) {
   ProtoHandler handler;
   {
     QLockGuard guard(lock_);
-    stats_.packets_received++;
+    stats_.packets_received.Inc();
     auto it = protocols_.find(pkt.proto);
     if (it == protocols_.end()) {
-      stats_.unknown_proto++;
+      stats_.unknown_proto.Inc();
       return;
     }
     handler = it->second;

@@ -16,6 +16,7 @@
 #include "src/base/bytes.h"
 #include "src/base/thread_annotations.h"
 #include "src/inet/ipaddr.h"
+#include "src/obs/metrics.h"
 #include "src/sim/ether_segment.h"
 #include "src/sim/wire.h"
 #include "src/task/qlock.h"
@@ -43,16 +44,19 @@ struct IpPacket {
 // RFC 1071 ones-complement checksum, used by IP/TCP/UDP/IL headers.
 uint16_t InetChecksum(const uint8_t* data, size_t len, uint32_t seed = 0);
 
-struct IpStats {
-  uint64_t packets_sent = 0;
-  uint64_t packets_received = 0;
-  uint64_t packets_forwarded = 0;
-  uint64_t fragments_sent = 0;
-  uint64_t fragments_received = 0;
-  uint64_t reassembly_drops = 0;
-  uint64_t no_route = 0;
-  uint64_t bad_header = 0;
-  uint64_t unknown_proto = 0;
+// Per-stack counters, registry-backed (net.ip.* aggregates in /net/stats).
+struct IpMetrics {
+  IpMetrics();
+
+  obs::Counter packets_sent;
+  obs::Counter packets_received;
+  obs::Counter packets_forwarded;
+  obs::Counter fragments_sent;
+  obs::Counter fragments_received;
+  obs::Counter reassembly_drops;
+  obs::Counter no_route;
+  obs::Counter bad_header;
+  obs::Counter unknown_proto;
 };
 
 class IpStack {
@@ -97,7 +101,7 @@ class IpStack {
   // First configured address (identity for status files).
   Ipv4Addr PrimaryAddr();
 
-  IpStats stats();
+  const IpMetrics& stats() const { return stats_; }
 
  private:
   struct Interface;
@@ -124,7 +128,7 @@ class IpStack {
   std::map<uint64_t, Reassembly> reassembly_ GUARDED_BY(lock_);
   uint16_t next_ident_ GUARDED_BY(lock_) = 1;
   bool forwarding_ GUARDED_BY(lock_) = false;
-  IpStats stats_ GUARDED_BY(lock_);
+  IpMetrics stats_;  // atomic counters; no lock needed
   TimerId sweep_timer_ GUARDED_BY(lock_) = kNoTimer;
   // Set false in the destructor so in-flight sweep callbacks become no-ops;
   // the pointer itself is immutable after construction.

@@ -6,6 +6,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
 namespace {
@@ -43,6 +44,27 @@ bool SeqLt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) < 0; }
 bool SeqLeq(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <= 0; }
 
 }  // namespace
+
+TcpConvMetrics::TcpConvMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  segs_sent.BindParent(&r.CounterNamed("net.tcp.segs-sent"));
+  segs_received.BindParent(&r.CounterNamed("net.tcp.segs-rcvd"));
+  bytes_sent.BindParent(&r.CounterNamed("net.tcp.bytes-sent"));
+  bytes_received.BindParent(&r.CounterNamed("net.tcp.bytes-rcvd"));
+  retransmit_segs.BindParent(&r.CounterNamed("net.tcp.resends"));
+  retransmit_bytes.BindParent(&r.CounterNamed("net.tcp.resend-bytes"));
+  dup_segs.BindParent(&r.CounterNamed("net.tcp.dups"));
+}
+
+void TcpConvMetrics::Reset() {
+  segs_sent.Reset();
+  segs_received.Reset();
+  bytes_sent.Reset();
+  bytes_received.Reset();
+  retransmit_segs.Reset();
+  retransmit_bytes.Reset();
+  dup_segs.Reset();
+}
 
 // Stream device module: TCP is a byte stream, so block and delimiter
 // boundaries vanish into the send buffer.
@@ -101,7 +123,7 @@ void TcpConv::Recycle() {
   pending_.clear();
   listener_backref_ = nullptr;
   err_.clear();
-  stats_ = TcpConvStats{};
+  metrics_.Reset();
 }
 
 const char* TcpConv::StateNameLocked() const {
@@ -233,17 +255,21 @@ std::string TcpConv::Remote() {
 
 std::string TcpConv::StatusText() {
   QLockGuard guard(lock_);
-  // Matches the paper's `cat status` output shape: "tcp/2 1 Established
-  // connect".
+  // The paper's one-line `cat status` shape, extended with the addresses and
+  // byte counts every protocol now reports uniformly.
   const char* mode = lport_ != 0 && rport_ == 0 ? "announce" : "connect";
-  return StrFormat("tcp/%d %d %s %s\n", index_, refs.load(), StateNameLocked(), mode);
+  Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
+  return StrFormat("tcp/%d %d %s %s %s!%u %s!%u tx %llu rx %llu\n", index_,
+                   refs.load(), StateNameLocked(), mode,
+                   IpToString(shown).c_str(), lport_, IpToString(raddr_).c_str(),
+                   rport_,
+                   static_cast<unsigned long long>(metrics_.bytes_sent.value()),
+                   static_cast<unsigned long long>(metrics_.bytes_received.value()));
 }
 
-TcpConvStats TcpConv::stats() {
+std::chrono::microseconds TcpConv::Srtt() {
   QLockGuard guard(lock_);
-  TcpConvStats s = stats_;
-  s.srtt = srtt_;
-  return s;
+  return srtt_;
 }
 
 void TcpConv::CloseUser() {
@@ -358,7 +384,7 @@ void TcpConv::TrySendLocked() {
     }
     EmitLocked(kAck | kPsh, snd_nxt_, buf_off, can_send);
     snd_nxt_ += static_cast<uint32_t>(can_send);
-    stats_.bytes_sent += can_send;
+    metrics_.bytes_sent.Inc(can_send);
   }
   MaybeSendFinLocked();
   if (snd_nxt_ != snd_una_ && timer_ == kNoTimer) {
@@ -398,7 +424,7 @@ void TcpConv::EmitLocked(uint16_t flags, uint32_t seq, size_t payload_off,
     pkt[kTcpHeaderSize + i] = send_buf_[payload_off + i];
   }
   Put16(h + 16, InetChecksum(pkt.data(), pkt.size()));
-  stats_.segs_sent++;
+  metrics_.segs_sent.Inc();
   (void)proto_->ip()->Send(kIpProtoTcp, laddr_, raddr_, pkt);
 }
 
@@ -411,6 +437,9 @@ std::chrono::microseconds TcpConv::RtoLocked() const {
 }
 
 void TcpConv::RttSampleLocked(std::chrono::microseconds sample) {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::Default().HistogramNamed("net.tcp.rtt");
+  hist.Record(static_cast<uint64_t>(sample.count()));
   if (srtt_.count() == 0) {
     srtt_ = sample;
     mdev_ = sample / 2;
@@ -485,6 +514,8 @@ void TcpConv::RetransmitLocked() {
   snd_nxt_ = snd_una_;
   fin_sent_ = false;
   rtt_timing_ = false;  // Karn: don't time retransmitted data
+  P9_TRACE(obs::TraceKind::kTcp, StrFormat("tcp/%d", index_),
+           StrFormat("rexmit una=%u nxt=%u", snd_una_, snd_nxt_));
   size_t off = 0;
   size_t data_len = std::min<size_t>(to_resend, send_buf_.size());
   while (off < data_len) {
@@ -492,14 +523,14 @@ void TcpConv::RetransmitLocked() {
     EmitLocked(kAck | kPsh, snd_nxt_, off, chunk);
     snd_nxt_ += static_cast<uint32_t>(chunk);
     off += chunk;
-    stats_.retransmit_segs++;
-    stats_.retransmit_bytes += chunk;
+    metrics_.retransmit_segs.Inc();
+    metrics_.retransmit_bytes.Inc(chunk);
   }
   if (fin_in_flight) {
     EmitLocked(kFin | kAck, snd_nxt_, 0, 0);
     snd_nxt_ += 1;
     fin_sent_ = true;
-    stats_.retransmit_segs++;
+    metrics_.retransmit_segs.Inc();
   }
 }
 
@@ -539,7 +570,7 @@ void TcpConv::ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
   }
   if (!payload.empty()) {
     if (SeqLeq(seq + static_cast<uint32_t>(payload.size()), rcv_nxt_)) {
-      stats_.dup_segs++;  // entirely old
+      metrics_.dup_segs.Inc();  // entirely old
     } else if (SeqLt(rcv_nxt_, seq)) {
       out_of_order_[seq] = std::move(payload);  // future data; buffer it
     } else {
@@ -549,7 +580,7 @@ void TcpConv::ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
           Bytes(payload.begin() + static_cast<long>(skip), payload.end()),
           /*delim=*/false));  // TCP does not preserve delimiters
       rcv_nxt_ = seq + static_cast<uint32_t>(payload.size());
-      stats_.bytes_received += payload.size() - skip;
+      metrics_.bytes_received.Inc(payload.size() - skip);
       // Drain contiguous out-of-order segments.
       for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
         uint32_t s = it->first;
@@ -566,7 +597,7 @@ void TcpConv::ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
         deliveries->push_back(MakeDataBlock(
             Bytes(data.begin() + static_cast<long>(skip2), data.end()),
             /*delim=*/false));
-        stats_.bytes_received += data.size() - skip2;
+        metrics_.bytes_received.Inc(data.size() - skip2);
         rcv_nxt_ = e;
         it = out_of_order_.erase(it);
       }
@@ -592,7 +623,7 @@ void TcpConv::Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack,
   bool hangup_reset = false;
   {
     QLockGuard guard(lock_);
-    stats_.segs_received++;
+    metrics_.segs_received.Inc();
     if (flags & kRst) {
       if (state_ != State::kClosed && state_ != State::kListen) {
         ResetLocked(state_ == State::kSynSent ? kErrConnRefused : "connection reset");
@@ -795,19 +826,20 @@ size_t TcpProto::ConvCount() {
 
 Result<std::string> TcpProto::InfoText(NetConv* conv, const std::string& file) {
   if (file == "stats") {
-    TcpConvStats s = static_cast<TcpConv*>(conv)->stats();
+    TcpConv* c = static_cast<TcpConv*>(conv);
+    const TcpConvMetrics& m = c->metrics();
     std::string out;
-    auto line = [&](const char* key, uint64_t v) {
-      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v));
+    auto line = [&](const char* key, const obs::Counter& v) {
+      out += StrFormat("%s: %llu\n", key, static_cast<unsigned long long>(v.value()));
     };
-    line("sent", s.segs_sent);
-    line("rcvd", s.segs_received);
-    line("bytes-sent", s.bytes_sent);
-    line("bytes-rcvd", s.bytes_received);
-    line("rexmit", s.retransmit_segs);
-    line("rexmit-bytes", s.retransmit_bytes);
-    line("dup", s.dup_segs);
-    out += StrFormat("rtt: %lld us\n", static_cast<long long>(s.srtt.count()));
+    line("sent", m.segs_sent);
+    line("rcvd", m.segs_received);
+    line("bytes-sent", m.bytes_sent);
+    line("bytes-rcvd", m.bytes_received);
+    line("rexmit", m.retransmit_segs);
+    line("rexmit-bytes", m.retransmit_bytes);
+    line("dup", m.dup_segs);
+    out += StrFormat("rtt: %lld us\n", static_cast<long long>(c->Srtt().count()));
     return out;
   }
   return ProtoFiles::InfoText(conv, file);

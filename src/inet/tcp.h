@@ -26,21 +26,27 @@
 #include "src/inet/ip.h"
 #include "src/inet/netproto.h"
 #include "src/inet/portutil.h"
+#include "src/obs/metrics.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
 #include "src/task/timers.h"
 
 namespace plan9 {
 
-struct TcpConvStats {
-  uint64_t segs_sent = 0;
-  uint64_t segs_received = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  uint64_t retransmit_segs = 0;
-  uint64_t retransmit_bytes = 0;
-  uint64_t dup_segs = 0;
-  std::chrono::microseconds srtt{0};
+// Per-conversation counters, registry-backed: each increment also feeds the
+// process-wide net.tcp.* aggregate in /net/stats.
+struct TcpConvMetrics {
+  TcpConvMetrics();
+
+  obs::Counter segs_sent;
+  obs::Counter segs_received;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_received;
+  obs::Counter retransmit_segs;
+  obs::Counter retransmit_bytes;
+  obs::Counter dup_segs;
+
+  void Reset();  // this conversation only
 };
 
 class TcpProto;
@@ -76,7 +82,8 @@ class TcpConv : public NetConv {
   std::string StatusText() override;
   void CloseUser() override;
 
-  TcpConvStats stats();
+  const TcpConvMetrics& metrics() const { return metrics_; }
+  std::chrono::microseconds Srtt();
 
  private:
   friend class TcpProto;
@@ -151,7 +158,7 @@ class TcpConv : public NetConv {
   std::deque<int> pending_ GUARDED_BY(lock_);
   TcpConv* listener_backref_ GUARDED_BY(lock_) = nullptr;  // spawning conv (accept)
   std::string err_ GUARDED_BY(lock_);
-  TcpConvStats stats_ GUARDED_BY(lock_);
+  TcpConvMetrics metrics_;  // atomic counters; no lock needed
 };
 
 class TcpProto : public NetProto, public ProtoFiles {

@@ -19,6 +19,21 @@ uint16_t Get16(const uint8_t* p) { return static_cast<uint16_t>(p[0] << 8 | p[1]
 
 }  // namespace
 
+UdpConvMetrics::UdpConvMetrics() {
+  auto& r = obs::MetricsRegistry::Default();
+  dgrams_sent.BindParent(&r.CounterNamed("net.udp.dgrams-sent"));
+  dgrams_received.BindParent(&r.CounterNamed("net.udp.dgrams-rcvd"));
+  bytes_sent.BindParent(&r.CounterNamed("net.udp.bytes-sent"));
+  bytes_received.BindParent(&r.CounterNamed("net.udp.bytes-rcvd"));
+}
+
+void UdpConvMetrics::Reset() {
+  dgrams_sent.Reset();
+  dgrams_received.Reset();
+  bytes_sent.Reset();
+  bytes_received.Reset();
+}
+
 // The stream device module: user writes become datagrams.  Data blocks are
 // coalesced until the delimiter so one write == one datagram regardless of
 // internal splitting.
@@ -59,6 +74,7 @@ void UdpConv::Recycle() {
   laddr_ = raddr_ = Ipv4Addr{};
   lport_ = rport_ = 0;
   pending_.clear();
+  metrics_.Reset();
 }
 
 Status UdpConv::Ctl(const std::string& msg) {
@@ -169,7 +185,12 @@ std::string UdpConv::StatusText() {
       s = "Closed";
       break;
   }
-  return StrFormat("udp/%d %d %s\n", index_, refs.load(), s);
+  Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
+  return StrFormat("udp/%d %d %s %s!%u %s!%u tx %llu rx %llu\n", index_,
+                   refs.load(), s, IpToString(shown).c_str(), lport_,
+                   IpToString(raddr_).c_str(), rport_,
+                   static_cast<unsigned long long>(metrics_.bytes_sent.value()),
+                   static_cast<unsigned long long>(metrics_.bytes_received.value()));
 }
 
 void UdpConv::CloseUser() {
@@ -193,6 +214,7 @@ void UdpConv::CloseUser() {
     state_ = State::kIdle;
     laddr_ = raddr_ = Ipv4Addr{};
     lport_ = rport_ = 0;
+    metrics_.Reset();
   }
 }
 
@@ -215,6 +237,8 @@ Status UdpConv::Output(const Bytes& payload) {
   Put16(pkt.data() + 4, static_cast<uint16_t>(pkt.size()));
   Put16(pkt.data() + 6, 0);  // checksum optional in v4; media are checksummed
   std::memcpy(pkt.data() + kUdpHeaderSize, payload.data(), payload.size());
+  metrics_.dgrams_sent.Inc();
+  metrics_.bytes_sent.Inc(payload.size());
   return proto_->ip()->Send(kIpProtoUdp, src, dst, pkt);
 }
 
@@ -228,6 +252,8 @@ void UdpConv::Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, si
       }
     }
   }
+  metrics_.dgrams_received.Inc();
+  metrics_.bytes_received.Inc(len);
   stream_->DeliverUp(MakeDataBlock(Bytes(data, data + len), /*delim=*/true));
 }
 

@@ -20,12 +20,25 @@
 #include "src/inet/netproto.h"
 #include "src/base/thread_annotations.h"
 #include "src/inet/portutil.h"
+#include "src/obs/metrics.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
 
 namespace plan9 {
 
 class UdpProto;
+
+// Registry-backed datagram/byte counters (net.udp.* aggregates).
+struct UdpConvMetrics {
+  UdpConvMetrics();
+
+  obs::Counter dgrams_sent;
+  obs::Counter dgrams_received;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_received;
+
+  void Reset();
+};
 
 class UdpConv : public NetConv {
  public:
@@ -40,6 +53,8 @@ class UdpConv : public NetConv {
   std::string Remote() override;
   std::string StatusText() override;
   void CloseUser() override;
+
+  const UdpConvMetrics& metrics() const { return metrics_; }
 
  private:
   friend class UdpProto;
@@ -60,6 +75,7 @@ class UdpConv : public NetConv {
   uint16_t lport_ GUARDED_BY(lock_) = 0, rport_ GUARDED_BY(lock_) = 0;
   // Conversations spawned by unseen sources.
   std::deque<int> pending_ GUARDED_BY(lock_);
+  UdpConvMetrics metrics_;  // atomic counters; no lock needed
 };
 
 class UdpProto : public NetProto {

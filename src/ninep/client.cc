@@ -2,8 +2,31 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
+
+namespace {
+
+// One histogram for every client in the process: RPC round-trip time in
+// microseconds, surfaced as ninep.rpc.latency-* in /net/stats.
+obs::Histogram& RpcLatencyHistogram() {
+  static obs::Histogram* h =
+      &obs::MetricsRegistry::Default().HistogramNamed("ninep.rpc.latency");
+  return *h;
+}
+
+}  // namespace
+
+NinepClientStats::NinepClientStats() {
+  auto& r = obs::MetricsRegistry::Default();
+  rpcs.BindParent(&r.CounterNamed("ninep.rpc.count"));
+  timeouts.BindParent(&r.CounterNamed("ninep.rpc.timeouts"));
+  flushes_sent.BindParent(&r.CounterNamed("ninep.rpc.flushes-sent"));
+  flushed.BindParent(&r.CounterNamed("ninep.rpc.flushed"));
+  late_replies.BindParent(&r.CounterNamed("ninep.rpc.late-replies"));
+  failures.BindParent(&r.CounterNamed("ninep.rpc.failures"));
+}
 
 NinepClient::NinepClient(std::unique_ptr<MsgTransport> transport)
     : transport_(std::move(transport)),
@@ -78,7 +101,7 @@ bool NinepClient::FailAllLocked(const std::string& why) {
   }
   dead_ = true;
   death_reason_ = why;
-  stats_.failures++;
+  stats_.failures.Inc();
   for (auto& [tag, waiter] : pending_) {
     waiter->have_reply = true;
     waiter->reply = RerrorMsg(tag, why);
@@ -100,7 +123,7 @@ Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending
     if (waiter->have_reply) {
       return waiter->reply;  // lost the race: the reply just landed
     }
-    stats_.timeouts++;
+    stats_.timeouts.Inc();
     flush_tag = AllocTagLocked();
     pending_[flush_tag] = flushw;
     waiter->also_wake = flushw;
@@ -120,7 +143,7 @@ Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending
         hook_why = death_reason_;
       }
     } else {
-      stats_.flushes_sent++;
+      stats_.flushes_sent.Inc();
       // Wait for whichever the server sends first: the old reply (it beat
       // the flush) or the Rflush (the RPC is officially dead).
       (void)flushw->done.SleepFor(lock_, deadline, [&]() REQUIRES(lock_) {
@@ -133,13 +156,13 @@ Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending
       // orphan Rflush, if still owed, is consumed by ReaderLoop against the
       // still-registered flush tag.
       if (!dead_) {
-        stats_.late_replies++;
+        stats_.late_replies.Inc();
       }
       out = waiter->reply;
     } else if (flushw->have_reply) {
       // Rflush confirmed: the server will never answer oldtag.  Reap it so
       // the tag can be reused.
-      stats_.flushed++;
+      stats_.flushed.Inc();
       pending_.erase(oldtag);
       out = Error(std::string(kErrTimedOut));
     } else {
@@ -160,6 +183,7 @@ Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending
 }
 
 Result<Fcall> NinepClient::Rpc(Fcall tx) {
+  auto started = std::chrono::steady_clock::now();
   auto waiter = std::make_shared<Pending>();
   std::chrono::milliseconds deadline{0};
   {
@@ -167,7 +191,7 @@ Result<Fcall> NinepClient::Rpc(Fcall tx) {
     if (dead_) {
       return Error(death_reason_);
     }
-    stats_.rpcs++;
+    stats_.rpcs.Inc();
     tx.tag = AllocTagLocked();
     pending_[tx.tag] = waiter;
     deadline = rpc_timeout_;
@@ -204,6 +228,13 @@ Result<Fcall> NinepClient::Rpc(Fcall tx) {
   } else {
     reply = waiter->reply;
   }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  RpcLatencyHistogram().Record(static_cast<uint64_t>(elapsed.count()));
+  P9_TRACE(obs::TraceKind::kNinep, "9p.client",
+           StrFormat("%s tag %u -> %s", FcallTypeName(tx.type), tx.tag,
+                     FcallTypeName(reply->type)),
+           tx.tag, static_cast<uint64_t>(elapsed.count()));
   if (reply->type == FcallType::kRerror) {
     return Error(reply->ename);
   }
@@ -223,11 +254,6 @@ void NinepClient::SetRpcTimeout(std::chrono::milliseconds timeout) {
 void NinepClient::OnDead(std::function<void(const std::string&)> hook) {
   QLockGuard guard(lock_);
   on_dead_ = std::move(hook);
-}
-
-NinepClientStats NinepClient::stats() {
-  QLockGuard guard(lock_);
-  return stats_;
 }
 
 uint32_t NinepClient::AllocFid() {

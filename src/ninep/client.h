@@ -18,6 +18,7 @@
 #include "src/base/thread_annotations.h"
 #include "src/ninep/fcall.h"
 #include "src/ninep/transport.h"
+#include "src/obs/metrics.h"
 #include "src/task/kproc.h"
 #include "src/task/qlock.h"
 #include "src/task/rendez.h"
@@ -25,13 +26,17 @@
 namespace plan9 {
 
 // Counters for the recovery machinery; tests assert Tflush actually fired.
+// Registry-backed: increments also feed the process-wide ninep.rpc.*
+// aggregates in /net/stats.  Atomic, so readable without the client lock.
 struct NinepClientStats {
-  uint64_t rpcs = 0;
-  uint64_t timeouts = 0;      // RPC deadlines that expired
-  uint64_t flushes_sent = 0;  // Tflush messages written
-  uint64_t flushed = 0;       // RPCs the server confirmed flushed (Rflush won)
-  uint64_t late_replies = 0;  // original reply beat the Rflush after a timeout
-  uint64_t failures = 0;      // connection declared dead (FailAll)
+  NinepClientStats();
+
+  obs::Counter rpcs;
+  obs::Counter timeouts;      // RPC deadlines that expired
+  obs::Counter flushes_sent;  // Tflush messages written
+  obs::Counter flushed;       // RPCs the server confirmed flushed (Rflush won)
+  obs::Counter late_replies;  // original reply beat the Rflush after a timeout
+  obs::Counter failures;      // connection declared dead (FailAll)
 };
 
 class NinepClient {
@@ -61,7 +66,7 @@ class NinepClient {
   // hangs a redial policy here.
   void OnDead(std::function<void(const std::string& why)> hook);
 
-  NinepClientStats stats();
+  const NinepClientStats& stats() const { return stats_; }
 
   // Fid allocation for callers (the server sees whatever we choose).
   uint32_t AllocFid();
@@ -113,7 +118,7 @@ class NinepClient {
   std::string death_reason_ GUARDED_BY(lock_);
   std::chrono::milliseconds rpc_timeout_ GUARDED_BY(lock_){0};
   std::function<void(const std::string&)> on_dead_ GUARDED_BY(lock_);
-  NinepClientStats stats_ GUARDED_BY(lock_);
+  NinepClientStats stats_;  // atomic counters; no lock needed
   Kproc reader_;
 };
 

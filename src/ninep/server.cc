@@ -2,10 +2,18 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
 
 namespace plan9 {
 namespace {
 constexpr int kWorkers = 4;
+
+// Requests served, across every server in the process (ninep.srv.rpcs).
+obs::Counter& ServedCounter() {
+  static obs::Counter* c =
+      &obs::MetricsRegistry::Default().CounterNamed("ninep.srv.rpcs");
+  return *c;
+}
 }  // namespace
 
 Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
@@ -128,6 +136,7 @@ Result<NinepServer::FidState*> NinepServer::GetFidLocked(uint32_t fid) {
 }
 
 void NinepServer::Dispatch(Fcall req) {
+  ServedCounter().Inc();
   Fcall reply;
   reply.type = static_cast<FcallType>(static_cast<uint8_t>(req.type) + 1);
   reply.tag = req.tag;

@@ -1,0 +1,162 @@
+#include "src/obs/trace.h"
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kIl:
+      return "il";
+    case TraceKind::kTcp:
+      return "tcp";
+    case TraceKind::kNinep:
+      return "9p";
+    case TraceKind::kDial:
+      return "dial";
+    case TraceKind::kFault:
+      return "fault";
+    case TraceKind::kLog:
+      return "log";
+    case TraceKind::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+std::optional<TraceKind> TraceKindFromName(std::string_view name) {
+  static constexpr TraceKind kKinds[] = {
+      TraceKind::kBlock, TraceKind::kIl,    TraceKind::kTcp, TraceKind::kNinep,
+      TraceKind::kDial,  TraceKind::kFault, TraceKind::kLog, TraceKind::kAll,
+  };
+  for (TraceKind k : kKinds) {
+    if (name == TraceKindName(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::Record(TraceKind kind, std::string src, std::string text,
+                            uint64_t a, uint64_t b) {
+  if (!enabled(kind)) {
+    return;  // callers may invoke directly, without the P9_TRACE gate
+  }
+  TraceEvent ev;
+  ev.ts = std::chrono::steady_clock::now();
+  ev.kind = kind;
+  ev.src = std::move(src);
+  ev.text = std::move(text);
+  ev.a = a;
+  ev.b = b;
+  QLockGuard guard(lock_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_ % capacity_] = std::move(ev);
+  }
+  next_ = (next_ + 1) % capacity_;
+  recorded_++;
+}
+
+void FlightRecorder::Enable(uint32_t kinds) {
+  mask_.fetch_or(kinds, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disable(uint32_t kinds) {
+  mask_.fetch_and(~kinds, std::memory_order_relaxed);
+}
+
+Status FlightRecorder::Ctl(std::string_view msg) {
+  auto fields = Tokenize(msg);
+  if (fields.empty()) {
+    return Error("empty ctl message");
+  }
+  if (fields[0] == "clear") {
+    Clear();
+    return Status::Ok();
+  }
+  if (fields[0] == "trace") {
+    if (fields.size() < 2 || (fields[1] != "on" && fields[1] != "off")) {
+      return Error("usage: trace on|off [kind...]");
+    }
+    bool on = fields[1] == "on";
+    uint32_t kinds = 0;
+    if (fields.size() == 2) {
+      kinds = static_cast<uint32_t>(TraceKind::kAll);
+    } else {
+      for (size_t i = 2; i < fields.size(); i++) {
+        auto k = TraceKindFromName(fields[i]);
+        if (!k.has_value()) {
+          return Error(StrFormat("unknown trace kind: %s", fields[i].c_str()));
+        }
+        kinds |= static_cast<uint32_t>(*k);
+      }
+    }
+    if (on) {
+      Enable(kinds);
+    } else {
+      Disable(kinds);
+    }
+    return Status::Ok();
+  }
+  return Error(StrFormat("unknown ctl message: %s", fields[0].c_str()));
+}
+
+std::string FlightRecorder::RenderText(uint32_t kinds) {
+  QLockGuard guard(lock_);
+  std::string out;
+  size_t n = ring_.size();
+  // Oldest-first: when the ring has wrapped, next_ indexes the oldest slot.
+  size_t start = n < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < n; i++) {
+    const TraceEvent& ev = ring_[(start + i) % n];
+    if ((static_cast<uint32_t>(ev.kind) & kinds) == 0) {
+      continue;
+    }
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(ev.ts - epoch_);
+    out += StrFormat("%6lld.%06lld %-5s %s %s",
+                     (long long)(us.count() / 1000000),
+                     (long long)(us.count() % 1000000), TraceKindName(ev.kind),
+                     ev.src.c_str(), ev.text.c_str());
+    if (ev.a != 0 || ev.b != 0) {
+      out += StrFormat(" %llu", (unsigned long long)ev.a);
+    }
+    if (ev.b != 0) {
+      out += StrFormat(" %llu", (unsigned long long)ev.b);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  QLockGuard guard(lock_);
+  ring_.clear();
+  next_ = 0;
+}
+
+size_t FlightRecorder::EventCount() {
+  QLockGuard guard(lock_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::Overwritten() {
+  QLockGuard guard(lock_);
+  return recorded_ - ring_.size();
+}
+
+}  // namespace obs
+}  // namespace plan9

@@ -1,0 +1,122 @@
+// Flight recorder (observability tentpole).
+//
+// A fixed-size ring buffer of typed trace events: block put/queue, IL
+// send/resend/ack/deadman, 9P T/R with latency, dial attempts, fault
+// injections, and (optionally) every log line.  Tracing is off by default;
+// the enabled-kind mask is a relaxed atomic so the disabled fast path is a
+// single load and branch — event text is only formatted when the kind is on
+// (use the P9_TRACE macro).  When the ring is full the oldest event is
+// overwritten; `overwritten` counts what was lost.
+//
+// The recorder is per node in deployment terms: a real Plan 9 node is one
+// process, so the process-wide Default() instance *is* the node's recorder.
+// In multi-node simulations the nodes of a world share it; every event
+// carries a source tag ("helix/il/3") so interleaved node activity stays
+// attributable.  Readable as text through /net/trace and /net/log (kLog
+// events only), controllable through /net/ctl — see devproto.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/thread_annotations.h"
+#include "src/task/qlock.h"
+
+namespace plan9 {
+namespace obs {
+
+enum class TraceKind : uint32_t {
+  kBlock = 1u << 0,  // block put / queue transitions
+  kIl = 1u << 1,     // IL send/resend/ack/deadman
+  kTcp = 1u << 2,    // TCP segment events
+  kNinep = 1u << 3,  // 9P T/R tag with latency
+  kDial = 1u << 4,   // dial/announce attempts
+  kFault = 1u << 5,  // injected faults
+  kLog = 1u << 6,    // routed P9_LOG lines
+  kAll = 0x7f,
+};
+
+const char* TraceKindName(TraceKind kind);
+// "il" -> kIl etc.; "all" -> kAll; nullopt for unknown names.
+std::optional<TraceKind> TraceKindFromName(std::string_view name);
+
+struct TraceEvent {
+  std::chrono::steady_clock::time_point ts;
+  TraceKind kind = TraceKind::kLog;
+  std::string src;   // "helix/il/3", "9p.client", ...
+  std::string text;  // event-specific detail
+  uint64_t a = 0;    // event-specific numbers (latency us, seq, tag...)
+  uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static FlightRecorder& Default();
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // The disabled fast path: one relaxed load.
+  bool enabled(TraceKind kind) const {
+    return (mask_.load(std::memory_order_relaxed) & static_cast<uint32_t>(kind)) != 0;
+  }
+
+  void Record(TraceKind kind, std::string src, std::string text, uint64_t a = 0,
+              uint64_t b = 0);
+
+  void Enable(uint32_t kinds);
+  void Disable(uint32_t kinds);
+  uint32_t mask() const { return mask_.load(std::memory_order_relaxed); }
+
+  // Ctl grammar (the writable /net/ctl file):
+  //   trace on [kind...]    enable all kinds, or just the named ones
+  //   trace off [kind...]   disable all kinds, or just the named ones
+  //   clear                 drop every recorded event
+  Status Ctl(std::string_view msg);
+
+  // Events oldest-first, one per line:
+  //   <sec.usec> <kind> <src> <text> [a [b]]
+  // With a filter, only matching kinds render (log files pass kLog).
+  std::string RenderText(uint32_t kinds = static_cast<uint32_t>(TraceKind::kAll));
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t EventCount();
+  uint64_t Overwritten();
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint32_t> mask_{0};
+  const std::chrono::steady_clock::time_point epoch_;
+
+  QLock lock_{"obs.trace"};
+  std::vector<TraceEvent> ring_ GUARDED_BY(lock_);
+  size_t next_ GUARDED_BY(lock_) = 0;      // slot the next event lands in
+  uint64_t recorded_ GUARDED_BY(lock_) = 0;  // lifetime total
+};
+
+// Record iff the kind is enabled; argument expressions (StrFormat etc.) are
+// not evaluated when tracing is off.
+#define P9_TRACE(kind, ...)                                          \
+  do {                                                               \
+    auto& p9_fr = ::plan9::obs::FlightRecorder::Default();           \
+    if (p9_fr.enabled(kind)) {                                       \
+      p9_fr.Record(kind, __VA_ARGS__);                               \
+    }                                                                \
+  } while (0)
+
+}  // namespace obs
+}  // namespace plan9
+
+#endif  // SRC_OBS_TRACE_H_

@@ -77,7 +77,7 @@ EtherSegment::EtherSegment(LinkParams params) : shared_(std::make_shared<Shared>
   auto now = TimerWheel::Clock::now();
   shared_->params = params;
   shared_->rng = Rng(params.seed);
-  shared_->faults = FaultInjector(params.faults, params.seed, now);
+  shared_->faults.Reconfigure(params.faults, params.seed, now);
   shared_->busy_until = now;
 }
 
@@ -123,20 +123,20 @@ Status EtherSegment::Send(const EtherFrame& frame) {
       return Error(kErrShutdown);
     }
     if (frame_size > shared->params.mtu) {
-      shared->stats.send_errors++;
+      shared->stats.send_errors.Inc();
       return Error(StrFormat("frame too large for medium (%zu > %zu)", frame_size,
                              shared->params.mtu));
     }
-    shared->stats.frames_sent++;
-    shared->stats.bytes_sent += frame_size;
+    shared->stats.frames_sent.Inc();
+    shared->stats.bytes_sent.Inc(frame_size);
     if (shared->params.loss_rate > 0 && shared->rng.Chance(shared->params.loss_rate)) {
-      shared->stats.frames_dropped++;
+      shared->stats.frames_dropped.Inc();
       return Status::Ok();
     }
     auto now = TimerWheel::Clock::now();
     auto fault = shared->faults.Evaluate(now, delivered.payload.size());
     if (fault.drop) {
-      shared->stats.frames_dropped++;
+      shared->stats.frames_dropped.Inc();
       return Status::Ok();
     }
     if (fault.corrupt) {
@@ -168,8 +168,8 @@ Status EtherSegment::Send(const EtherFrame& frame) {
         }
       }
       if (!receivers.empty()) {
-        shared->stats.frames_delivered++;
-        shared->stats.bytes_delivered += kEtherHeaderSize + frame.payload.size();
+        shared->stats.frames_delivered.Inc();
+        shared->stats.bytes_delivered.Inc(kEtherHeaderSize + frame.payload.size());
       }
     }
     for (auto& recv : receivers) {
@@ -185,12 +185,12 @@ Status EtherSegment::Send(const EtherFrame& frame) {
   return Status::Ok();
 }
 
-MediaStats EtherSegment::stats() {
+const MediaStats& EtherSegment::stats() {
   QLockGuard guard(shared_->lock);
   return shared_->stats;
 }
 
-FaultStats EtherSegment::fault_stats() {
+const FaultStats& EtherSegment::fault_stats() {
   QLockGuard guard(shared_->lock);
   return shared_->faults.stats();
 }

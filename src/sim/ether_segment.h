@@ -60,8 +60,8 @@ class EtherSegment {
   // Queue a frame for transmission on the cable.
   Status Send(const EtherFrame& frame);
 
-  MediaStats stats();
-  FaultStats fault_stats();
+  const MediaStats& stats();
+  const FaultStats& fault_stats();
   size_t station_count();
 
   // Temporary partition (the test's hand on the cable): while down, every
@@ -84,7 +84,7 @@ class EtherSegment {
     Rng rng GUARDED_BY(lock){1};
     FaultInjector faults GUARDED_BY(lock);
     TimerWheel::Clock::time_point busy_until GUARDED_BY(lock);
-    MediaStats stats GUARDED_BY(lock);
+    MediaStats stats;  // atomic counters; readable without the lock
     std::vector<Station> stations GUARDED_BY(lock);
     StationId next_id GUARDED_BY(lock) = 1;
     bool down GUARDED_BY(lock) = false;

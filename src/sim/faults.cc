@@ -1,6 +1,7 @@
 #include "src/sim/faults.h"
 
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace plan9 {
 
@@ -31,9 +32,38 @@ FaultProfile FaultProfile::Hostile() {
   return p;
 }
 
+FaultStats::FaultStats() {
+  auto& r = obs::MetricsRegistry::Default();
+  drops_burst.BindParent(&r.CounterNamed("sim.fault.drops-burst"));
+  drops_partition.BindParent(&r.CounterNamed("sim.fault.drops-partition"));
+  dups.BindParent(&r.CounterNamed("sim.fault.dups"));
+  reorders.BindParent(&r.CounterNamed("sim.fault.reorders"));
+  corruptions.BindParent(&r.CounterNamed("sim.fault.corruptions"));
+  bad_state_entries.BindParent(&r.CounterNamed("sim.fault.bursts"));
+}
+
+void FaultStats::Reset() {
+  drops_burst.Reset();
+  drops_partition.Reset();
+  dups.Reset();
+  reorders.Reset();
+  corruptions.Reset();
+  bad_state_entries.Reset();
+}
+
 FaultInjector::FaultInjector(const FaultProfile& profile, uint64_t seed,
                              TimerWheel::Clock::time_point epoch)
     : profile_(profile), rng_(seed ^ 0xfa171a7e5eedULL), epoch_(epoch) {}
+
+void FaultInjector::Reconfigure(const FaultProfile& profile, uint64_t seed,
+                                TimerWheel::Clock::time_point epoch) {
+  profile_ = profile;
+  rng_ = Rng(seed ^ 0xfa171a7e5eedULL);
+  epoch_ = epoch;
+  bad_state_ = false;
+  forced_down_ = false;
+  stats_.Reset();
+}
 
 bool FaultInjector::ScriptedDown(TimerWheel::Clock::time_point now) const {
   auto since = std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_);
@@ -55,7 +85,8 @@ FaultInjector::Decision FaultInjector::Evaluate(TimerWheel::Clock::time_point no
                                                 size_t frame_size) {
   Decision d;
   if (down(now)) {
-    stats_.drops_partition++;
+    stats_.drops_partition.Inc();
+    P9_TRACE(obs::TraceKind::kFault, "sim.fault", "drop partition", frame_size);
     d.drop = true;
     return d;
   }
@@ -73,12 +104,13 @@ FaultInjector::Decision FaultInjector::Evaluate(TimerWheel::Clock::time_point no
   } else {
     if (rng_.Chance(profile_.p_good_to_bad)) {
       bad_state_ = true;
-      stats_.bad_state_entries++;
+      stats_.bad_state_entries.Inc();
     }
   }
   double loss = bad_state_ ? profile_.loss_bad : profile_.loss_good;
   if (loss > 0 && rng_.Chance(loss)) {
-    stats_.drops_burst++;
+    stats_.drops_burst.Inc();
+    P9_TRACE(obs::TraceKind::kFault, "sim.fault", "drop burst", frame_size);
     d.drop = true;
     return d;
   }
@@ -86,18 +118,22 @@ FaultInjector::Decision FaultInjector::Evaluate(TimerWheel::Clock::time_point no
       frame_size > 0) {
     d.corrupt = true;
     d.corrupt_bit = rng_.Below(frame_size * 8);
-    stats_.corruptions++;
+    stats_.corruptions.Inc();
+    P9_TRACE(obs::TraceKind::kFault, "sim.fault", "corrupt bit", d.corrupt_bit);
   }
   if (profile_.dup_rate > 0 && rng_.Chance(profile_.dup_rate)) {
     d.duplicate = true;
-    stats_.dups++;
+    stats_.dups.Inc();
+    P9_TRACE(obs::TraceKind::kFault, "sim.fault", "duplicate", frame_size);
   }
   if (profile_.reorder_rate > 0 && rng_.Chance(profile_.reorder_rate) &&
       profile_.reorder_jitter.count() > 0) {
     d.extra_delay =
         std::chrono::microseconds(1 + rng_.Below(
             static_cast<uint64_t>(profile_.reorder_jitter.count())));
-    stats_.reorders++;
+    stats_.reorders.Inc();
+    P9_TRACE(obs::TraceKind::kFault, "sim.fault", "reorder",
+             static_cast<uint64_t>(d.extra_delay.count()));
   }
   return d;
 }
@@ -115,12 +151,12 @@ std::string FormatFaultStats(const FaultStats& s, const char* prefix) {
   auto line = [&](const char* key, uint64_t v) {
     out += StrFormat("%s%s: %llu\n", prefix, key, static_cast<unsigned long long>(v));
   };
-  line("drops-burst", s.drops_burst);
-  line("drops-partition", s.drops_partition);
-  line("dups", s.dups);
-  line("reorders", s.reorders);
-  line("corruptions", s.corruptions);
-  line("bursts", s.bad_state_entries);
+  line("drops-burst", s.drops_burst.value());
+  line("drops-partition", s.drops_partition.value());
+  line("dups", s.dups.value());
+  line("reorders", s.reorders.value());
+  line("corruptions", s.corruptions.value());
+  line("bursts", s.bad_state_entries.value());
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/rand.h"
+#include "src/obs/metrics.h"
 #include "src/task/timers.h"
 
 namespace plan9 {
@@ -83,13 +84,19 @@ struct FaultProfile {
 
 // Per-cause counters; media expose these next to MediaStats in their
 // `stats` files so tests and benches can assert on recovery behaviour.
+// Registry-backed: each increment also feeds the process-wide sim.fault.*
+// aggregate in /net/stats.  Atomic, so readable without the medium's lock.
 struct FaultStats {
-  uint64_t drops_burst = 0;      // Gilbert–Elliott losses
-  uint64_t drops_partition = 0;  // scripted/forced outage losses
-  uint64_t dups = 0;             // frames delivered twice
-  uint64_t reorders = 0;         // frames held back by jitter
-  uint64_t corruptions = 0;      // frames with a flipped bit
-  uint64_t bad_state_entries = 0;  // Good->Bad transitions (burst count)
+  FaultStats();
+
+  obs::Counter drops_burst;      // Gilbert–Elliott losses
+  obs::Counter drops_partition;  // scripted/forced outage losses
+  obs::Counter dups;             // frames delivered twice
+  obs::Counter reorders;         // frames held back by jitter
+  obs::Counter corruptions;      // frames with a flipped bit
+  obs::Counter bad_state_entries;  // Good->Bad transitions (burst count)
+
+  void Reset();  // this injector only; the aggregates keep counting
 };
 
 class FaultInjector {
@@ -99,6 +106,12 @@ class FaultInjector {
   FaultInjector() : FaultInjector(FaultProfile{}, 1, TimerWheel::Clock::now()) {}
   FaultInjector(const FaultProfile& profile, uint64_t seed,
                 TimerWheel::Clock::time_point epoch);
+
+  // Re-arm in place (media reconfigure their embedded injector: the atomic
+  // counters make FaultInjector non-assignable).  Resets the chain state,
+  // the Rng, and this injector's counters.
+  void Reconfigure(const FaultProfile& profile, uint64_t seed,
+                   TimerWheel::Clock::time_point epoch);
 
   // The verdict for one frame.  NOT thread safe: call under the medium's
   // lock, exactly once per frame sent (every call advances the Rng).

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "src/obs/metrics.h"
 #include "src/sim/faults.h"
 
 namespace plan9 {
@@ -65,13 +66,17 @@ struct LinkParams {
 };
 
 // Counters every medium keeps; the ether device's `stats` file reports them.
+// Registry-backed: increments also feed the process-wide sim.media.*
+// aggregates in /net/stats.  Atomic, so readable without the medium's lock.
 struct MediaStats {
-  uint64_t frames_sent = 0;
-  uint64_t frames_delivered = 0;
-  uint64_t frames_dropped = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_delivered = 0;
-  uint64_t send_errors = 0;  // oversize etc.
+  MediaStats();
+
+  obs::Counter frames_sent;
+  obs::Counter frames_delivered;
+  obs::Counter frames_dropped;
+  obs::Counter bytes_sent;
+  obs::Counter bytes_delivered;
+  obs::Counter send_errors;  // oversize etc.
 };
 
 }  // namespace plan9

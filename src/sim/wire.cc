@@ -19,11 +19,11 @@ Wire::Wire(LinkParams a_to_b, LinkParams b_to_a) : shared_(std::make_shared<Shar
   auto now = TimerWheel::Clock::now();
   shared_->dirs[kA].params = a_to_b;
   shared_->dirs[kA].rng = Rng(a_to_b.seed);
-  shared_->dirs[kA].faults = FaultInjector(a_to_b.faults, a_to_b.seed, now);
+  shared_->dirs[kA].faults.Reconfigure(a_to_b.faults, a_to_b.seed, now);
   shared_->dirs[kB].params = b_to_a;
   shared_->dirs[kB].rng = Rng(b_to_a.seed ^ 0x517cc1b727220a95ULL);
-  shared_->dirs[kB].faults =
-      FaultInjector(b_to_a.faults, b_to_a.seed ^ 0x517cc1b727220a95ULL, now);
+  shared_->dirs[kB].faults.Reconfigure(b_to_a.faults,
+                                       b_to_a.seed ^ 0x517cc1b727220a95ULL, now);
   shared_->dirs[kA].busy_until = now;
   shared_->dirs[kB].busy_until = now;
 }
@@ -51,20 +51,20 @@ Status Wire::Send(End from, Bytes frame) {
       return Error(kErrHungup);
     }
     if (frame.size() > dir.params.mtu) {
-      dir.stats.send_errors++;
+      dir.stats.send_errors.Inc();
       return Error(StrFormat("frame too large for medium (%zu > %zu)", frame.size(),
                              dir.params.mtu));
     }
-    dir.stats.frames_sent++;
-    dir.stats.bytes_sent += frame.size();
+    dir.stats.frames_sent.Inc();
+    dir.stats.bytes_sent.Inc(frame.size());
     if (dir.params.loss_rate > 0 && dir.rng.Chance(dir.params.loss_rate)) {
-      dir.stats.frames_dropped++;
+      dir.stats.frames_dropped.Inc();
       return Status::Ok();  // silently lost on the wire
     }
     auto now = TimerWheel::Clock::now();
     auto fault = dir.faults.Evaluate(now, frame.size());
     if (fault.drop) {
-      dir.stats.frames_dropped++;
+      dir.stats.frames_dropped.Inc();
       return Status::Ok();
     }
     if (fault.corrupt) {
@@ -91,8 +91,8 @@ Status Wire::Send(End from, Bytes frame) {
               return;
             }
             Direction& dir = shared->dirs[from];
-            dir.stats.frames_delivered++;
-            dir.stats.bytes_delivered += frame.size();
+            dir.stats.frames_delivered.Inc();
+            dir.stats.bytes_delivered.Inc(frame.size());
             recv = dir.recv;
           }
           if (recv) {
@@ -108,12 +108,12 @@ Status Wire::Send(End from, Bytes frame) {
   return Status::Ok();
 }
 
-MediaStats Wire::stats(End from) {
+const MediaStats& Wire::stats(End from) {
   QLockGuard guard(shared_->lock);
   return shared_->dirs[from].stats;
 }
 
-FaultStats Wire::fault_stats(End from) {
+const FaultStats& Wire::fault_stats(End from) {
   QLockGuard guard(shared_->lock);
   return shared_->dirs[from].faults.stats();
 }

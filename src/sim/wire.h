@@ -40,8 +40,8 @@ class Wire {
   // report collisions to software either.
   Status Send(End from, Bytes frame);
 
-  MediaStats stats(End from);
-  FaultStats fault_stats(End from);
+  const MediaStats& stats(End from);
+  const FaultStats& fault_stats(End from);
 
   // Sever the link: nothing further is delivered in either direction.
   void Cut();
@@ -57,7 +57,7 @@ class Wire {
     Rng rng;
     FaultInjector faults;
     TimerWheel::Clock::time_point busy_until;
-    MediaStats stats;
+    MediaStats stats;  // atomic counters; readable without the lock
     RecvFn recv;  // callback of the *receiving* end
   };
 

@@ -1,6 +1,26 @@
 #include "src/stream/queue.h"
 
+#include "src/obs/metrics.h"
+
 namespace plan9 {
+
+namespace {
+
+// Total bytes queued across every stream queue in the process, with a
+// high-water mark (stream.q.depth / stream.q.depth-hiwat in /net/stats).
+obs::Gauge& DepthGauge() {
+  static obs::Gauge* g =
+      &obs::MetricsRegistry::Default().GaugeNamed("stream.q.depth");
+  return *g;
+}
+
+}  // namespace
+
+Queue::~Queue() {
+  if (bytes_ > 0) {
+    DepthGauge().Add(-static_cast<int64_t>(bytes_));
+  }
+}
 
 Status Queue::Put(BlockPtr b) {
   {
@@ -10,6 +30,7 @@ Status Queue::Put(BlockPtr b) {
       return Error(kErrHungup);
     }
     bytes_ += b->size();
+    DepthGauge().Add(static_cast<int64_t>(b->size()));
     blocks_.push_back(std::move(b));
   }
   can_read_.Wakeup();
@@ -26,6 +47,7 @@ Status Queue::PutNoBlock(BlockPtr b) {
       return Error(kErrHungup);
     }
     bytes_ += b->size();
+    DepthGauge().Add(static_cast<int64_t>(b->size()));
     blocks_.push_back(std::move(b));
   }
   can_read_.Wakeup();
@@ -39,6 +61,7 @@ void Queue::PutBack(BlockPtr b) {
   {
     QLockGuard guard(lock_);
     bytes_ += b->size();
+    DepthGauge().Add(static_cast<int64_t>(b->size()));
     blocks_.push_front(std::move(b));
   }
   can_read_.Wakeup();
@@ -55,6 +78,7 @@ BlockPtr Queue::Get() {
     b = std::move(blocks_.front());
     blocks_.pop_front();
     bytes_ -= b->size();
+    DepthGauge().Add(-static_cast<int64_t>(b->size()));
   }
   can_write_.Wakeup();
   return b;
@@ -70,6 +94,7 @@ BlockPtr Queue::GetNoWait() {
     b = std::move(blocks_.front());
     blocks_.pop_front();
     bytes_ -= b->size();
+    DepthGauge().Add(-static_cast<int64_t>(b->size()));
   }
   can_write_.Wakeup();
   return b;
@@ -95,6 +120,7 @@ void Queue::CloseAndFlush() {
     QLockGuard guard(lock_);
     closed_ = true;
     blocks_.clear();
+    DepthGauge().Add(-static_cast<int64_t>(bytes_));
     bytes_ = 0;
   }
   can_read_.Wakeup();

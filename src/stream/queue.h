@@ -25,6 +25,7 @@ class Queue {
 
   explicit Queue(size_t limit = kDefaultLimit, std::function<void()> kick = nullptr)
       : limit_(limit), kick_(std::move(kick)) {}
+  ~Queue();  // releases still-queued bytes from the process depth gauge
 
   // Enqueue, sleeping while the queue is over its limit.  Fails if closed.
   Status Put(BlockPtr b);

@@ -7,16 +7,23 @@
 namespace plan9 {
 namespace {
 std::atomic<int> g_live{0};
+thread_local std::string g_current_name;
+const std::string g_main_name = "main";
 }  // namespace
 
 Kproc::Kproc(std::string name, std::function<void()> fn) : name_(std::move(name)) {
   g_live.fetch_add(1);
   thread_ = std::thread([name = name_, fn = std::move(fn)] {
+    g_current_name = name;
     P9_LOG(kDebug) << "kproc start: " << name;
     fn();
     P9_LOG(kDebug) << "kproc exit: " << name;
     g_live.fetch_sub(1);
   });
+}
+
+const std::string& Kproc::CurrentName() {
+  return g_current_name.empty() ? g_main_name : g_current_name;
 }
 
 void Kproc::Join() {

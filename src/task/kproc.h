@@ -36,6 +36,10 @@ class Kproc {
   // Count of currently live kprocs (leak checking in tests).
   static int LiveCount();
 
+  // Name of the kproc the calling thread runs in; "main" outside any kproc.
+  // Used by logging to prefix each line with its execution context.
+  static const std::string& CurrentName();
+
  private:
   std::string name_;
   std::thread thread_;

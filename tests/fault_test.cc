@@ -60,17 +60,17 @@ TEST(FaultInjector, SameSeedSameDecisionSequence) {
       divergences++;
     }
   }
-  EXPECT_EQ(a.stats().drops_burst, b.stats().drops_burst);
-  EXPECT_EQ(a.stats().dups, b.stats().dups);
-  EXPECT_EQ(a.stats().reorders, b.stats().reorders);
-  EXPECT_EQ(a.stats().corruptions, b.stats().corruptions);
-  EXPECT_EQ(a.stats().bad_state_entries, b.stats().bad_state_entries);
+  EXPECT_EQ(a.stats().drops_burst.value(), b.stats().drops_burst.value());
+  EXPECT_EQ(a.stats().dups.value(), b.stats().dups.value());
+  EXPECT_EQ(a.stats().reorders.value(), b.stats().reorders.value());
+  EXPECT_EQ(a.stats().corruptions.value(), b.stats().corruptions.value());
+  EXPECT_EQ(a.stats().bad_state_entries.value(), b.stats().bad_state_entries.value());
   // A hostile profile actually exercises every fault mode...
-  EXPECT_GT(a.stats().drops_burst, 0u);
-  EXPECT_GT(a.stats().dups, 0u);
-  EXPECT_GT(a.stats().reorders, 0u);
-  EXPECT_GT(a.stats().corruptions, 0u);
-  EXPECT_GT(a.stats().bad_state_entries, 0u);
+  EXPECT_GT(a.stats().drops_burst.value(), 0u);
+  EXPECT_GT(a.stats().dups.value(), 0u);
+  EXPECT_GT(a.stats().reorders.value(), 0u);
+  EXPECT_GT(a.stats().corruptions.value(), 0u);
+  EXPECT_GT(a.stats().bad_state_entries.value(), 0u);
   // ...and a different seed gives a genuinely different trace.
   EXPECT_GT(divergences, 0);
 }
@@ -102,10 +102,10 @@ TEST(FaultInjector, ForcedPartitionDropsEverything) {
   for (int i = 0; i < 10; i++) {
     EXPECT_TRUE(inj.Evaluate(epoch, 100).drop);
   }
-  EXPECT_EQ(inj.stats().drops_partition, 10u);
+  EXPECT_EQ(inj.stats().drops_partition.value(), 10u);
   inj.SetDown(false);
   EXPECT_FALSE(inj.Evaluate(epoch, 100).drop);
-  EXPECT_EQ(inj.stats().drops_partition, 10u);
+  EXPECT_EQ(inj.stats().drops_partition.value(), 10u);
 }
 
 TEST(FaultInjector, ApplyCorruptionFlipsExactlyOneBit) {
@@ -130,7 +130,7 @@ TEST(FaultInjector, ApplyCorruptionFlipsExactlyOneBit) {
 
 TEST(FaultInjector, FormatFaultStatsStableSchema) {
   FaultStats s;
-  s.drops_burst = 3;
+  s.drops_burst.Inc(3);
   std::string text = FormatFaultStats(s);
   EXPECT_NE(text.find("fault-drops-burst: 3\n"), std::string::npos);
   EXPECT_NE(text.find("fault-drops-partition: 0\n"), std::string::npos);
@@ -190,10 +190,12 @@ TEST(WireFaults, SameSeedSameDeliveryTrace) {
       EXPECT_TRUE(wire.Send(Wire::kA, std::move(frame)).ok());
     }
     uint64_t delivered = trace.Settle();
-    auto fs = wire.fault_stats(Wire::kA);
+    const auto& fs = wire.fault_stats(Wire::kA);
+    auto snap = std::tuple(delivered, trace.digest.load(), fs.drops_burst.value(),
+                           fs.dups.value(), fs.reorders.value(),
+                           fs.corruptions.value());
     wire.Detach(Wire::kB);
-    return std::tuple(delivered, trace.digest.load(), fs.drops_burst, fs.dups,
-                      fs.reorders, fs.corruptions);
+    return snap;
   };
   auto first = run(99);
   auto second = run(99);
@@ -215,7 +217,7 @@ TEST(WireFaults, DuplicationDeliversTwice) {
     ASSERT_TRUE(wire.Send(Wire::kA, Bytes(100, static_cast<uint8_t>(i))).ok());
   }
   EXPECT_EQ(trace.Settle(), 100u);
-  EXPECT_EQ(wire.fault_stats(Wire::kA).dups, 50u);
+  EXPECT_EQ(wire.fault_stats(Wire::kA).dups.value(), 50u);
   wire.Detach(Wire::kB);
 }
 
@@ -228,7 +230,7 @@ TEST(WireFaults, PartitionSilencesTheLink) {
     ASSERT_TRUE(wire.Send(Wire::kA, Bytes(64, 0xab)).ok());
   }
   EXPECT_EQ(trace.Settle(), 0u);
-  EXPECT_EQ(wire.fault_stats(Wire::kA).drops_partition, 20u);
+  EXPECT_EQ(wire.fault_stats(Wire::kA).drops_partition.value(), 20u);
   wire.SetPartitioned(false);
   for (int i = 0; i < 20; i++) {
     ASSERT_TRUE(wire.Send(Wire::kA, Bytes(64, 0xcd)).ok());
@@ -254,13 +256,13 @@ TEST(EtherFaults, DuplicationAndPartitionCounters) {
     ASSERT_TRUE(seg.Send(frame).ok());
   }
   EXPECT_EQ(trace.Settle(), 20u);
-  EXPECT_EQ(seg.fault_stats().dups, 10u);
+  EXPECT_EQ(seg.fault_stats().dups.value(), 10u);
   seg.SetPartitioned(true);
   for (int i = 0; i < 5; i++) {
     ASSERT_TRUE(seg.Send(frame).ok());
   }
   EXPECT_EQ(trace.Settle(), 20u);
-  EXPECT_EQ(seg.fault_stats().drops_partition, 5u);
+  EXPECT_EQ(seg.fault_stats().drops_partition.value(), 5u);
 }
 
 // ---------------------------------------------------------------------------
@@ -336,12 +338,12 @@ TEST(NinepTimeout, FlushConfirmedSurfacesTimeoutAndConnectionSurvives) {
   // The flush reaped the tag; the connection keeps working.
   EXPECT_TRUE(client.Rpc(TnopMsg()).ok());
   EXPECT_TRUE(client.ok());
-  auto s = client.stats();
-  EXPECT_EQ(s.timeouts, 1u);
-  EXPECT_EQ(s.flushes_sent, 1u);
-  EXPECT_EQ(s.flushed, 1u);
-  EXPECT_EQ(s.late_replies, 0u);
-  EXPECT_EQ(s.failures, 0u);
+  const auto& s = client.stats();
+  EXPECT_EQ(s.timeouts.value(), 1u);
+  EXPECT_EQ(s.flushes_sent.value(), 1u);
+  EXPECT_EQ(s.flushed.value(), 1u);
+  EXPECT_EQ(s.late_replies.value(), 0u);
+  EXPECT_EQ(s.failures.value(), 0u);
 }
 
 TEST(NinepTimeout, LateReplyBeatsFlushAndIsDelivered) {
@@ -375,12 +377,12 @@ TEST(NinepTimeout, LateReplyBeatsFlushAndIsDelivered) {
   // The orphan Rflush must be consumed, not misdelivered: the next RPC
   // reuses tags safely.
   EXPECT_TRUE(client.Rpc(TnopMsg()).ok());
-  auto s = client.stats();
-  EXPECT_EQ(s.timeouts, 1u);
-  EXPECT_EQ(s.flushes_sent, 1u);
-  EXPECT_EQ(s.late_replies, 1u);
-  EXPECT_EQ(s.flushed, 0u);
-  EXPECT_EQ(s.failures, 0u);
+  const auto& s = client.stats();
+  EXPECT_EQ(s.timeouts.value(), 1u);
+  EXPECT_EQ(s.flushes_sent.value(), 1u);
+  EXPECT_EQ(s.late_replies.value(), 1u);
+  EXPECT_EQ(s.flushed.value(), 0u);
+  EXPECT_EQ(s.failures.value(), 0u);
 }
 
 TEST(NinepTimeout, UnansweredFlushDeclaresConnectionDead) {
@@ -407,10 +409,10 @@ TEST(NinepTimeout, UnansweredFlushDeclaresConnectionDead) {
   // Subsequent RPCs fail fast without touching the wire.
   auto r2 = client.Rpc(TnopMsg());
   EXPECT_FALSE(r2.ok());
-  auto s = client.stats();
-  EXPECT_EQ(s.timeouts, 1u);
-  EXPECT_EQ(s.flushes_sent, 1u);
-  EXPECT_EQ(s.failures, 1u);
+  const auto& s = client.stats();
+  EXPECT_EQ(s.timeouts.value(), 1u);
+  EXPECT_EQ(s.flushes_sent.value(), 1u);
+  EXPECT_EQ(s.failures.value(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -594,7 +596,7 @@ TEST_F(FaultNetTest, IlDeadmanKillsConnectionAcrossDeadLink) {
   EXPECT_EQ(text->find("queries: 0"), std::string::npos) << *text;
   (void)client->Close(*sfd);
   (void)client->Close(*fd);
-  EXPECT_GT(ether_.fault_stats().drops_partition, 0u);
+  EXPECT_GT(ether_.fault_stats().drops_partition.value(), 0u);
 
   ether_.SetPartitioned(false);
   (void)server->Close(server_dfd);
@@ -703,7 +705,10 @@ TEST_F(HostileLinkTest, NinePOverIlCompletesWorkloadWithRecovery) {
     uint32_t file_fid = 0;
   };
   Session sess;
-  NinepClientStats totals;
+  struct {
+    uint64_t rpcs = 0, timeouts = 0, flushes_sent = 0, flushed = 0,
+             late_replies = 0, failures = 0;
+  } totals;
   uint64_t il_rexmit = 0;
   int reconnects = -1;  // first connect is not a *re*connect
 
@@ -711,13 +716,13 @@ TEST_F(HostileLinkTest, NinePOverIlCompletesWorkloadWithRecovery) {
     if (sess.client == nullptr) {
       return;
     }
-    auto s = sess.client->stats();
-    totals.rpcs += s.rpcs;
-    totals.timeouts += s.timeouts;
-    totals.flushes_sent += s.flushes_sent;
-    totals.flushed += s.flushed;
-    totals.late_replies += s.late_replies;
-    totals.failures += s.failures;
+    const auto& s = sess.client->stats();
+    totals.rpcs += s.rpcs.value();
+    totals.timeouts += s.timeouts.value();
+    totals.flushes_sent += s.flushes_sent.value();
+    totals.flushed += s.flushed.value();
+    totals.late_replies += s.late_replies.value();
+    totals.failures += s.failures.value();
     // The conversation's stats file still answers while the fd is open,
     // even after the connection died.
     auto sfd = proc->Open(sess.dir + "/stats", kORead);
@@ -849,12 +854,12 @@ TEST_F(HostileLinkTest, NinePOverIlCompletesWorkloadWithRecovery) {
   EXPECT_GE(reconnects, 1);
   EXPECT_GT(il_rexmit, 0u);
   // And the medium really was hostile:
-  auto fs = ether_.fault_stats();
-  EXPECT_GT(fs.drops_burst, 0u);
-  EXPECT_GT(fs.drops_partition, 0u);
-  EXPECT_GT(fs.dups, 0u);
-  EXPECT_GT(fs.reorders, 0u);
-  EXPECT_GT(fs.corruptions, 0u);
+  const auto& fs = ether_.fault_stats();
+  EXPECT_GT(fs.drops_burst.value(), 0u);
+  EXPECT_GT(fs.drops_partition.value(), 0u);
+  EXPECT_GT(fs.dups.value(), 0u);
+  EXPECT_GT(fs.reorders.value(), 0u);
+  EXPECT_GT(fs.corruptions.value(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,394 @@
+// Observability layer: metrics registry, flight recorder, and the /net
+// surface (stats, trace, log, ctl) — locally and through a 9P import.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/dial/dial.h"
+#include "src/ndb/ndb.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/ether_segment.h"
+#include "src/svc/exportfs.h"
+#include "src/svc/listen.h"
+#include "src/world/boot.h"
+#include "src/world/node.h"
+
+namespace plan9 {
+namespace {
+
+using obs::FlightRecorder;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::TraceKind;
+
+// ---------------------------------------------------------------------------
+// Counters and parents
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, NamedEntriesAreStable) {
+  auto& r = MetricsRegistry::Default();
+  auto& c1 = r.CounterNamed("obs.test.stable");
+  auto& c2 = r.CounterNamed("obs.test.stable");
+  EXPECT_EQ(&c1, &c2) << "same name must resolve to the same counter";
+  auto& h1 = r.HistogramNamed("obs.test.stable-hist");
+  auto& h2 = r.HistogramNamed("obs.test.stable-hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  auto& parent = MetricsRegistry::Default().CounterNamed("obs.test.concurrent");
+  parent.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  // Each thread owns a child bound to the shared parent — the two-level
+  // pattern every conversation uses.
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<obs::Counter>> children;
+  for (int t = 0; t < kThreads; t++) {
+    children.push_back(std::make_unique<obs::Counter>(&parent));
+  }
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        children[static_cast<size_t>(t)]->Inc();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(parent.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  for (auto& c : children) {
+    EXPECT_EQ(c->value(), static_cast<uint64_t>(kPerThread));
+  }
+  // Reset clears only the child; the aggregate keeps counting events.
+  children[0]->Reset();
+  EXPECT_EQ(children[0]->value(), 0u);
+  EXPECT_EQ(parent.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, GaugeTracksHighWater) {
+  auto& g = MetricsRegistry::Default().GaugeNamed("obs.test.gauge");
+  g.Reset();
+  g.Add(10);
+  g.Add(25);
+  g.Add(-30);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.high_water(), 35);
+  g.Set(100);
+  EXPECT_EQ(g.high_water(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b = bit width: 0 -> 0, 1 -> 1, 2..3 -> 2, [2^(b-1), 2^b) -> b.
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(7), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 4);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(~0ull), 64 - 1 + 1);  // top bucket clamps
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+  // Every value lands in the bucket whose range contains it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 5ull, 100ull, 4095ull, 1ull << 40}) {
+    int b = Histogram::BucketFor(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(b)) << v;
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(b + 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordAndPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.sum(), 1000u * 1001 / 2);
+  EXPECT_EQ(h.mean(), h.sum() / h.count());
+  // Log buckets: percentile resolves to a bucket upper bound, so p50 of
+  // 1..1000 lands in the bucket containing 500 (256..511 -> upper 511).
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 1023u);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_GE(p99, 990u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotIsConsistentUnderWriters) {
+  auto& r = MetricsRegistry::Default();
+  auto& c = r.CounterNamed("obs.test.snapshot");
+  c.Reset();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) {
+      c.Inc();
+    }
+  });
+  for (int i = 0; i < 50; i++) {
+    std::string text = r.RenderText();
+    EXPECT_NE(text.find("obs.test.snapshot"), std::string::npos);
+    std::string json = r.RenderJson();
+    EXPECT_NE(json.find("\"obs.test.snapshot\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+  }
+  stop.store(true);
+  writer.join();
+  // The rendered value parses back as a number no larger than the final one.
+  std::string text = r.RenderText();
+  auto pos = text.find("obs.test.snapshot ");
+  ASSERT_NE(pos, std::string::npos);
+  auto end = text.find('\n', pos);
+  auto value = ParseU64(text.substr(pos + strlen("obs.test.snapshot "),
+                                    end - pos - strlen("obs.test.snapshot ")));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_LE(*value, c.value());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, MaskGatesRecording) {
+  FlightRecorder fr(16);
+  EXPECT_FALSE(fr.enabled(TraceKind::kIl));
+  fr.Record(TraceKind::kIl, "test", "ignored while off");
+  EXPECT_EQ(fr.EventCount(), 0u);
+  fr.Enable(static_cast<uint32_t>(TraceKind::kIl));
+  EXPECT_TRUE(fr.enabled(TraceKind::kIl));
+  EXPECT_FALSE(fr.enabled(TraceKind::kNinep));
+  fr.Record(TraceKind::kIl, "test", "send", 7, 42);
+  EXPECT_EQ(fr.EventCount(), 1u);
+  std::string text = fr.RenderText();
+  EXPECT_NE(text.find(" il "), std::string::npos);
+  EXPECT_NE(text.find("test send 7 42"), std::string::npos);
+  // Filtered render excludes other kinds.
+  EXPECT_EQ(fr.RenderText(static_cast<uint32_t>(TraceKind::kNinep)), "");
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestFirst) {
+  FlightRecorder fr(8);
+  fr.Enable(static_cast<uint32_t>(TraceKind::kAll));
+  for (int i = 0; i < 20; i++) {
+    fr.Record(TraceKind::kDial, "test", StrFormat("ev%d", i));
+  }
+  EXPECT_EQ(fr.EventCount(), 8u);
+  EXPECT_EQ(fr.Overwritten(), 12u);
+  std::string text = fr.RenderText();
+  EXPECT_EQ(text.find("ev11 "), std::string::npos) << "ev11 was overwritten";
+  // Oldest surviving event renders first.
+  EXPECT_LT(text.find("ev12"), text.find("ev19"));
+  fr.Clear();
+  EXPECT_EQ(fr.EventCount(), 0u);
+}
+
+TEST(FlightRecorderTest, CtlGrammar) {
+  FlightRecorder fr(8);
+  ASSERT_TRUE(fr.Ctl("trace on il 9p").ok());
+  EXPECT_TRUE(fr.enabled(TraceKind::kIl));
+  EXPECT_TRUE(fr.enabled(TraceKind::kNinep));
+  EXPECT_FALSE(fr.enabled(TraceKind::kDial));
+  ASSERT_TRUE(fr.Ctl("trace off il").ok());
+  EXPECT_FALSE(fr.enabled(TraceKind::kIl));
+  EXPECT_TRUE(fr.enabled(TraceKind::kNinep));
+  ASSERT_TRUE(fr.Ctl("trace on").ok());
+  EXPECT_TRUE(fr.enabled(TraceKind::kFault));
+  ASSERT_TRUE(fr.Ctl("trace off").ok());
+  EXPECT_EQ(fr.mask(), 0u);
+  EXPECT_FALSE(fr.Ctl("trace sideways").ok());
+  EXPECT_FALSE(fr.Ctl("trace on nosuchkind").ok());
+  fr.Enable(static_cast<uint32_t>(TraceKind::kAll));
+  fr.Record(TraceKind::kIl, "t", "x");
+  ASSERT_TRUE(fr.Ctl("clear").ok());
+  EXPECT_EQ(fr.EventCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The /net surface: stats, trace, log, ctl — local and imported
+// ---------------------------------------------------------------------------
+
+constexpr char kNdb[] = R"(sys=helix
+	dom=helix.research.bell-labs.com
+	ip=135.104.9.31 ether=080069022201
+	proto=il
+sys=musca
+	dom=musca.research.bell-labs.com
+	ip=135.104.9.6 ether=080069022202
+il=echo port=56789
+il=exportfs port=17007
+)";
+
+class ObsNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_shared<Ndb>();
+    ASSERT_TRUE(db_->Load(kNdb).ok());
+    helix_ = std::make_unique<Node>("helix");
+    musca_ = std::make_unique<Node>("musca");
+    auto mac = [](uint8_t last) { return MacAddr{8, 0, 0x69, 2, 0x22, last}; };
+    helix_->AddEther(&ether_, mac(1), Ipv4Addr::FromOctets(135, 104, 9, 31),
+                     Ipv4Addr{0xffffff00});
+    musca_->AddEther(&ether_, mac(2), Ipv4Addr::FromOctets(135, 104, 9, 6),
+                     Ipv4Addr{0xffffff00});
+    ASSERT_TRUE(BootNetwork(helix_.get(), db_, kNdb).ok());
+    ASSERT_TRUE(BootNetwork(musca_.get(), db_, kNdb).ok());
+  }
+
+  void TearDown() override {
+    (void)FlightRecorder::Default().Ctl("trace off");
+    (void)FlightRecorder::Default().Ctl("clear");
+  }
+
+  // Run one echo round trip over IL so the counters move.
+  void EchoOnce() {
+    auto svc = StartEchoService(
+        std::shared_ptr<Proc>(musca_->NewProc().release()), "il!*!echo");
+    ASSERT_TRUE(svc.ok());
+    auto client = helix_->NewProc();
+    auto fd = Dial(client.get(), "il!135.104.9.6!56789");
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(client->WriteString(*fd, "ping").ok());
+    auto reply = client->ReadString(*fd, 16);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(*reply, "ping");
+    ASSERT_TRUE(client->Close(*fd).ok());
+  }
+
+  EtherSegment ether_{LinkParams::Ether10()};
+  std::shared_ptr<Ndb> db_;
+  std::unique_ptr<Node> helix_, musca_;
+};
+
+TEST_F(ObsNetTest, NetRootListsObservabilityFiles) {
+  auto proc = helix_->NewProc();
+  auto entries = proc->ReadDir("/net");
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> names;
+  for (auto& d : *entries) {
+    names.insert(d.name);
+  }
+  for (const char* want : {"stats", "trace", "log", "ctl"}) {
+    EXPECT_TRUE(names.count(want)) << "missing /net/" << want;
+  }
+}
+
+TEST_F(ObsNetTest, NetStatsRendersRegistryInKeyValueFormat) {
+  EchoOnce();
+  auto proc = helix_->NewProc();
+  auto stats = proc->ReadFile("/net/stats");
+  ASSERT_TRUE(stats.ok());
+  // The paper's stats format: one `key value` pair per line.
+  for (const char* key : {"net.il.msgs-sent", "sim.media.frames-sent",
+                          "net.dial.attempts", "stream.q.depth-hiwat"}) {
+    auto pos = stats->find(std::string(key) + " ");
+    EXPECT_NE(pos, std::string::npos) << "missing " << key << " in\n" << *stats;
+  }
+  // The echo moved real traffic, so the IL aggregates are nonzero.
+  auto pos = stats->find("net.il.msgs-sent ");
+  ASSERT_NE(pos, std::string::npos);
+  auto end = stats->find('\n', pos);
+  auto value = ParseU64(stats->substr(pos + strlen("net.il.msgs-sent "),
+                                      end - pos - strlen("net.il.msgs-sent ")));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_GT(*value, 0u);
+}
+
+TEST_F(ObsNetTest, TraceCtlEnablesFlightRecorder) {
+  auto proc = helix_->NewProc();
+  // Writing the ctl file turns tracing on; the dial and IL activity lands
+  // in /net/trace.
+  ASSERT_TRUE(proc->WriteFile("/net/ctl", "trace on il dial 9p").ok());
+  EchoOnce();
+  auto trace = proc->ReadFile("/net/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->find(" il "), std::string::npos) << *trace;
+  EXPECT_NE(trace->find(" dial "), std::string::npos) << *trace;
+  ASSERT_TRUE(proc->WriteFile("/net/ctl", "trace off").ok());
+  ASSERT_TRUE(proc->WriteFile("/net/ctl", "clear").ok());
+  auto cleared = proc->ReadFile("/net/trace");
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_EQ(*cleared, "");
+}
+
+TEST_F(ObsNetTest, NetLogCarriesLogLinesWhenEnabled) {
+  auto proc = helix_->NewProc();
+  ASSERT_TRUE(proc->WriteFile("/net/ctl", "trace on log").ok());
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  P9_LOG(kInfo) << "obs-test log marker";
+  SetLogLevel(saved);
+  auto log = proc->ReadFile("/net/log");
+  ASSERT_TRUE(log.ok());
+  EXPECT_NE(log->find("obs-test log marker"), std::string::npos);
+  // Only kLog events render in /net/log.
+  EXPECT_EQ(log->find(" il "), std::string::npos);
+}
+
+TEST_F(ObsNetTest, PerConversationStatusHasPaperShape) {
+  auto svc = StartEchoService(
+      std::shared_ptr<Proc>(musca_->NewProc().release()), "il!*!echo");
+  ASSERT_TRUE(svc.ok());
+  auto client = helix_->NewProc();
+  std::string dir;
+  auto fd = Dial(client.get(), "il!135.104.9.6!56789", &dir, nullptr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client->WriteString(*fd, "ping").ok());
+  auto reply = client->ReadString(*fd, 16);
+  ASSERT_TRUE(reply.ok());
+
+  // status: `il/N refs State local!port remote!port tx N rx N rtt N us ...`
+  auto status = client->ReadFile(dir + "/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status->find("il/"), std::string::npos) << *status;
+  EXPECT_NE(status->find("Established"), std::string::npos) << *status;
+  EXPECT_NE(status->find("135.104.9.31!"), std::string::npos) << *status;
+  EXPECT_NE(status->find("135.104.9.6!56789"), std::string::npos) << *status;
+  EXPECT_NE(status->find(" tx "), std::string::npos) << *status;
+  EXPECT_NE(status->find(" rx "), std::string::npos) << *status;
+  EXPECT_NE(status->find(" rtt "), std::string::npos) << *status;
+  ASSERT_TRUE(client->Close(*fd).ok());
+}
+
+TEST_F(ObsNetTest, NetStatsReadableThroughNinepImport) {
+  // The §6.1 gateway property applies to the observability files too:
+  // import helix's /net and read its registry snapshot remotely.
+  auto exportsvc = StartExportfs(
+      std::shared_ptr<Proc>(helix_->NewProc().release()), "il!*!exportfs");
+  ASSERT_TRUE(exportsvc.ok());
+  EchoOnce();
+
+  auto proc = musca_->NewProcPrivate();
+  ASSERT_TRUE(Import(proc.get(), "il!135.104.9.31!17007", "/net", "/n/helixnet",
+                     kMRepl)
+                  .ok());
+  auto stats = proc->ReadFile("/n/helixnet/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("net.il.msgs-sent "), std::string::npos);
+  EXPECT_NE(stats->find("ninep.rpc.count "), std::string::npos);
+  // The 9P latency histogram is live: this very import issued RPCs.
+  EXPECT_NE(stats->find("ninep.rpc.latency-count "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plan9

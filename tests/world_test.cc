@@ -300,7 +300,8 @@ TEST_F(WorldTest, EtherDeviceFigure1) {
   for (auto& d : *entries) {
     names.insert(d.name);
   }
-  EXPECT_EQ(names, (std::set<std::string>{"ctl", "data", "stats", "type"}));
+  EXPECT_EQ(names,
+            (std::set<std::string>{"ctl", "data", "stats", "status", "type"}));
 
   // "Subsequent reads of the file type yield the string 2048."
   auto type = proc->ReadFile("/net/ether0/" + *num + "/type");
