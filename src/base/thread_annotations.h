@@ -55,4 +55,23 @@
 // functions).  Use sparingly and leave a comment saying why.
 #define NO_THREAD_SAFETY_ANALYSIS P9_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Functions that can put the calling kproc to sleep: Rendez::Sleep, the
+// flow-controlled Queue put/get paths, 9P RPCs, Dial, and anything that
+// transitively reaches one of them.  Clang's -Wthread-safety cannot express
+// "must not be called with an unrelated QLock held", so this is enforced by
+// two cooperating checkers instead:
+//
+//   * statically, tools/lint/plan9lint propagates MAY_BLOCK over the call
+//     graph and reports call sites that can block while a QLock is held
+//     (whitelisting the rendez-own-lock idiom and lock classes declared
+//     sleepable, see DESIGN.md "Static analysis"); and
+//   * dynamically, under -DPLAN9NET_LOCKCHECK=ON, Rendez aborts when a
+//     sleep begins while the thread holds any non-sleepable lock other
+//     than the rendez's own (src/task/lockcheck.h OnBlock).
+//
+// Annotate the public entry points of anything that sleeps; plan9lint infers
+// the interior of the call graph but virtual dispatch and std::function are
+// resolved through declared annotations only.
+#define MAY_BLOCK P9_THREAD_ANNOTATION(annotate("plan9::may_block"))
+
 #endif  // SRC_BASE_THREAD_ANNOTATIONS_H_

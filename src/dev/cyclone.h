@@ -45,7 +45,7 @@ class CycloneConv : public NetConv {
 
   static constexpr size_t kMaxOutstanding = 256 * 1024;
 
-  Status SendMessage(const Bytes& msg);
+  Status SendMessage(const Bytes& msg) MAY_BLOCK;  // credit sleep
   void WireInput(Bytes frame);
   void Recycle();
 

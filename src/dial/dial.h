@@ -22,6 +22,7 @@
 #include <string>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/ns/proc.h"
 
 namespace plan9 {
@@ -43,28 +44,29 @@ struct DialOptions {
 // directory path ("/net/il/3"); if `cfd` is non-null it receives an open fd
 // for the ctl file (caller closes), else the ctl fd is closed.
 Result<int> Dial(Proc* p, const std::string& dest, std::string* dir = nullptr,
-                 int* cfd = nullptr);
+                 int* cfd = nullptr) MAY_BLOCK;
 
 // Same, with bounded retry.  Name translation reruns on every attempt, so a
 // service that appears (or a CS answer that changes) while backing off is
 // picked up.  Returns the last error once attempts are exhausted.
 Result<int> Dial(Proc* p, const std::string& dest, const DialOptions& opts,
-                 std::string* dir = nullptr, int* cfd = nullptr);
+                 std::string* dir = nullptr, int* cfd = nullptr) MAY_BLOCK;
 
 // Announce `addr` ("tcp!*!echo"); returns an open ctl fd (keep it open: "an
 // announcement remains in force until the control file is closed").  `dir`
 // receives the protocol directory of the announcement.
-Result<int> Announce(Proc* p, const std::string& addr, std::string* dir);
+Result<int> Announce(Proc* p, const std::string& addr, std::string* dir) MAY_BLOCK;
 
 // Block for an incoming call on the announcement at `dir`; returns an open
 // ctl fd for the new connection, and its directory in `ldir`.
-Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir);
+Result<int> Listen(Proc* p, const std::string& dir, std::string* ldir) MAY_BLOCK;
 
 // Accept the call: returns an open data fd.
-Result<int> Accept(Proc* p, int ctl, const std::string& ldir);
+Result<int> Accept(Proc* p, int ctl, const std::string& ldir) MAY_BLOCK;
 
 // Reject the call with a reason (networks that cannot carry one ignore it).
-Status Reject(Proc* p, int ctl, const std::string& ldir, const std::string& reason);
+Status Reject(Proc* p, int ctl, const std::string& ldir,
+              const std::string& reason) MAY_BLOCK;
 
 // "helix" -> "net!helix!9fs" style defaulting, as in Plan 9's netmkaddr.
 std::string NetMkAddr(const std::string& addr, const std::string& defnet,

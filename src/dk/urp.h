@@ -77,7 +77,7 @@ class DkConv : public NetConv {
   };
 
   Status AttachCircuit(std::shared_ptr<DkCircuit> circuit, DkCircuit::End end);
-  Status SendMessage(const Bytes& msg);
+  Status SendMessage(const Bytes& msg) MAY_BLOCK;  // URP window sleep
   void CircuitInput(Bytes cell);
   void CircuitHangup();
   void PumpLocked() REQUIRES(lock_);  // send cells while window allows

@@ -113,7 +113,7 @@ class IlConv : public NetConv {
 
   // Locked() methods require lock_ held, enforced by the analysis.
   Status StartConnect(const HostPort& dest);
-  Status SendMessage(const Bytes& payload);      // user data path
+  Status SendMessage(const Bytes& payload) MAY_BLOCK;  // user data path; window sleep
   void Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint32_t ack,
              Bytes payload);
   void HandleAckLocked(uint32_t ack) REQUIRES(lock_);

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/stream/stream.h"
 
 namespace plan9 {
@@ -37,20 +38,20 @@ class NetConv {
   // Blocks until the conversation is usable: after `connect` this is
   // connection establishment ("When the data file is opened the connection
   // is established"); after `announce` it returns at once.
-  virtual Status WaitReady() = 0;
+  virtual Status WaitReady() MAY_BLOCK = 0;
 
   // Data file I/O.  Reads come from the conversation's stream head and so
   // honour the transport's delimiter behaviour (IL/UDP/URP preserve message
   // boundaries; TCP does not).
-  virtual Result<size_t> Write(const uint8_t* data, size_t n) {
+  virtual Result<size_t> Write(const uint8_t* data, size_t n) MAY_BLOCK {
     return stream_->Write(data, n);
   }
-  Result<size_t> Read(uint8_t* buf, size_t n) { return stream_->Read(buf, n); }
-  Result<Bytes> ReadMessage() { return stream_->ReadMessage(); }
+  Result<size_t> Read(uint8_t* buf, size_t n) MAY_BLOCK { return stream_->Read(buf, n); }
+  Result<Bytes> ReadMessage() MAY_BLOCK { return stream_->ReadMessage(); }
 
   // Blocks until an incoming call arrives on this announced conversation;
   // returns the index of the newly created conversation.
-  virtual Result<int> Listen() = 0;
+  virtual Result<int> Listen() MAY_BLOCK = 0;
 
   // Contents of the local / remote / status files.
   virtual std::string Local() = 0;

@@ -90,7 +90,7 @@ class TcpConv : public NetConv {
   class Module;
 
   Status StartConnect(const HostPort& dest);
-  Status QueueBytes(const uint8_t* data, size_t n);  // user data path
+  Status QueueBytes(const uint8_t* data, size_t n) MAY_BLOCK;  // user data path; sndbuf sleep
   void Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack, uint16_t flags,
              uint16_t wnd, Bytes payload);
   void TrySendLocked() REQUIRES(lock_);

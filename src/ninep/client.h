@@ -56,7 +56,7 @@ class NinepClient {
   // Rflush, that reply, late but intact.  If the flush itself goes
   // unanswered for another deadline the connection is declared dead:
   // every waiter fails and the on-dead hook fires (redial time).
-  Result<Fcall> Rpc(Fcall tx);
+  Result<Fcall> Rpc(Fcall tx) MAY_BLOCK;
 
   // Per-RPC deadline; zero (the default) waits forever.
   void SetRpcTimeout(std::chrono::milliseconds timeout);
@@ -71,21 +71,23 @@ class NinepClient {
   // Fid allocation for callers (the server sees whatever we choose).
   uint32_t AllocFid();
 
-  // Convenience wrappers over Rpc.
-  Status Session();
-  Result<Qid> Attach(uint32_t fid, const std::string& uname, const std::string& aname);
-  Result<Qid> Walk(uint32_t fid, const std::string& name);
+  // Convenience wrappers over Rpc; all of them block for the reply.
+  Status Session() MAY_BLOCK;
+  Result<Qid> Attach(uint32_t fid, const std::string& uname,
+                     const std::string& aname) MAY_BLOCK;
+  Result<Qid> Walk(uint32_t fid, const std::string& name) MAY_BLOCK;
   // Clone fid to newfid then walk each element; clunks newfid on failure.
   Result<Qid> CloneWalk(uint32_t fid, uint32_t newfid,
-                        const std::vector<std::string>& names);
-  Result<Qid> Open(uint32_t fid, uint8_t mode);
-  Result<Qid> Create(uint32_t fid, const std::string& name, uint32_t perm, uint8_t mode);
-  Result<Bytes> Read(uint32_t fid, uint64_t offset, uint32_t count);
-  Result<uint32_t> Write(uint32_t fid, uint64_t offset, const Bytes& data);
-  Status Clunk(uint32_t fid);
-  Status Remove(uint32_t fid);
-  Result<Dir> Stat(uint32_t fid);
-  Status Wstat(uint32_t fid, const Dir& d);
+                        const std::vector<std::string>& names) MAY_BLOCK;
+  Result<Qid> Open(uint32_t fid, uint8_t mode) MAY_BLOCK;
+  Result<Qid> Create(uint32_t fid, const std::string& name, uint32_t perm,
+                     uint8_t mode) MAY_BLOCK;
+  Result<Bytes> Read(uint32_t fid, uint64_t offset, uint32_t count) MAY_BLOCK;
+  Result<uint32_t> Write(uint32_t fid, uint64_t offset, const Bytes& data) MAY_BLOCK;
+  Status Clunk(uint32_t fid) MAY_BLOCK;
+  Status Remove(uint32_t fid) MAY_BLOCK;
+  Result<Dir> Stat(uint32_t fid) MAY_BLOCK;
+  Status Wstat(uint32_t fid, const Dir& d) MAY_BLOCK;
 
   // Whether the connection is still alive.
   bool ok();
@@ -107,7 +109,7 @@ class NinepClient {
   // Deadline expired on `waiter` (tag `oldtag`): send Tflush and resolve.
   // Returns the reply to surface, or a timeout error.
   Result<Fcall> FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending> waiter,
-                             std::chrono::milliseconds deadline);
+                             std::chrono::milliseconds deadline) MAY_BLOCK;
 
   std::unique_ptr<MsgTransport> transport_;
   QLock lock_{"9p.client"};

@@ -37,8 +37,12 @@ class Vnode {
   // Walk one component ("." and ".." included).  Only meaningful on dirs.
   virtual Result<std::shared_ptr<Vnode>> Walk(const std::string& name) = 0;
 
-  // Prepare for I/O.  `user` is the attach uname.
-  virtual Status Open(uint8_t mode, const std::string& user) { return Status::Ok(); }
+  // Prepare for I/O.  `user` is the attach uname.  MAY_BLOCK: device vnodes
+  // (devproto) block in Open on Listen/WaitReady — the reason the server
+  // dispatches to a worker pool.
+  virtual Status Open(uint8_t mode, const std::string& user) MAY_BLOCK {
+    return Status::Ok();
+  }
 
   virtual Result<std::shared_ptr<Vnode>> Create(const std::string& name, uint32_t perm,
                                                 uint8_t mode, const std::string& user) {
@@ -46,10 +50,11 @@ class Vnode {
   }
 
   // Directories return packed Dir records (offset/count in bytes, kDirLen
-  // aligned); PackDirEntries below helps.
-  virtual Result<Bytes> Read(uint64_t offset, uint32_t count) = 0;
+  // aligned); PackDirEntries below helps.  MAY_BLOCK: data-file vnodes wait
+  // for stream input / flow control.
+  virtual Result<Bytes> Read(uint64_t offset, uint32_t count) MAY_BLOCK = 0;
 
-  virtual Result<uint32_t> Write(uint64_t offset, const Bytes& data) {
+  virtual Result<uint32_t> Write(uint64_t offset, const Bytes& data) MAY_BLOCK {
     return Error(kErrPerm);
   }
 
@@ -81,7 +86,7 @@ class NinepServer {
 
   void Shutdown();
   // Block until the serve loop exits (EOF or Shutdown).
-  void Wait();
+  void Wait() MAY_BLOCK;
 
  private:
   struct FidState {
@@ -93,16 +98,19 @@ class NinepServer {
 
   void ReaderLoop();
   void Worker();
-  void Dispatch(Fcall req);
-  void Reply(const Fcall& reply);
-  void ReplyError(uint16_t tag, const std::string& ename);
+  void Dispatch(Fcall req) MAY_BLOCK;
+  // Blocks: holds write_lock_ (sleepable) across a flow-controlled WriteMsg.
+  void Reply(const Fcall& reply) MAY_BLOCK;
+  void ReplyError(uint16_t tag, const std::string& ename) MAY_BLOCK;
   Result<FidState*> GetFidLocked(uint32_t fid) REQUIRES(lock_);
 
   Vfs* vfs_;
   std::unique_ptr<MsgTransport> transport_;
   // Serializes replies onto the transport; never held with lock_ (Reply
-  // drops lock_ before packing and writing).
-  QLock write_lock_{"9p.server.write"};
+  // drops lock_ before packing and writing).  Sleepable: held across
+  // WriteMsg, which can block on transport flow control — by design, so
+  // concurrent repliers queue behind the stalled frame write.
+  QLock write_lock_{"9p.server.write", kSleepableClass};
 
   QLock lock_{"9p.server"};  // fid table + work queue
   std::map<uint32_t, FidState> fids_ GUARDED_BY(lock_);

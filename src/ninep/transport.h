@@ -20,6 +20,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
+#include "src/base/thread_annotations.h"
 #include "src/stream/queue.h"
 #include "src/stream/stream.h"
 
@@ -30,8 +31,10 @@ class MsgTransport {
   virtual ~MsgTransport() = default;
 
   // Blocking read of one whole 9P message.  Empty bytes = EOF/hangup.
-  virtual Result<Bytes> ReadMsg() = 0;
-  virtual Status WriteMsg(const Bytes& msg) = 0;
+  virtual Result<Bytes> ReadMsg() MAY_BLOCK = 0;
+  // Blocking: every transport can flow-control (queue limits, protocol
+  // windows).  Callers may hold only sleepable locks (9p.server.write).
+  virtual Status WriteMsg(const Bytes& msg) MAY_BLOCK = 0;
   virtual void Close() = 0;
 };
 
@@ -40,8 +43,8 @@ class StreamMsgTransport : public MsgTransport {
  public:
   explicit StreamMsgTransport(Stream* stream) : stream_(stream) {}
 
-  Result<Bytes> ReadMsg() override { return stream_->ReadMessage(); }
-  Status WriteMsg(const Bytes& msg) override {
+  Result<Bytes> ReadMsg() override MAY_BLOCK { return stream_->ReadMessage(); }
+  Status WriteMsg(const Bytes& msg) override MAY_BLOCK {
     return stream_->WriteBlock(MakeDataBlock(msg, /*delim=*/true));
   }
   void Close() override { stream_->Hangup(); }

@@ -49,26 +49,39 @@ Result<ChanPtr> Namespace::WalkOne(const ChanPtr& from, const std::string& elem)
   return Chan::Make(walked.take(), from->dev_id, from->path + "/" + elem);
 }
 
-Result<ChanPtr> Namespace::ResolveLocked(const std::string& path) {
+Result<ChanPtr> Namespace::Resolve(const std::string& path) {
   std::string clean = CleanName(path);
   if (clean.empty() || clean[0] != '/') {
     return Error(StrFormat("not an absolute path: %s", path.c_str()));
   }
-  ChanPtr cur = TranslateLocked(root_->CloneUnopened());
+  // The mount-table lock is held only for translation at each step, never
+  // across WalkOne: a walk can enter a mounted 9P tree and block in an RPC
+  // for a full network round trip (or forever, against a wedged server),
+  // and holding the namespace lock there would stall every other namespace
+  // operation in the process — the blocking-under-lock class plan9lint and
+  // lockcheck::OnBlock both reject.  Resolution is therefore not atomic
+  // against concurrent binds, exactly as in Plan 9.
+  ChanPtr cur;
+  {
+    QLockGuard guard(lock_);
+    cur = TranslateLocked(root_->CloneUnopened());
+  }
   for (auto& elem : GetFields(clean, "/")) {
     auto next = WalkOne(cur, elem);
     if (!next.ok()) {
       return Error(StrFormat("%s: '%s' %s", path.c_str(), elem.c_str(),
                              next.error().message().c_str()));
     }
-    cur = TranslateLocked(next.take());
+    ChanPtr translated;
+    {
+      QLockGuard guard(lock_);
+      translated = TranslateLocked(next.take());
+    }
+    // Assign outside the guard: dropping the previous step's chan can clunk
+    // a 9P fid — a blocking RPC that must not run under the namespace lock.
+    cur = std::move(translated);
   }
   return cur;
-}
-
-Result<ChanPtr> Namespace::Resolve(const std::string& path) {
-  QLockGuard guard(lock_);
-  return ResolveLocked(path);
 }
 
 Result<ChanPtr> Namespace::ResolveParent(const std::string& path, std::string* last) {
@@ -79,21 +92,25 @@ Result<ChanPtr> Namespace::ResolveParent(const std::string& path, std::string* l
   }
   *last = parts.back();
   parts.pop_back();
-  QLockGuard guard(lock_);
-  return ResolveLocked("/" + Join(parts, "/"));
+  return Resolve("/" + Join(parts, "/"));
 }
 
 Status Namespace::Bind(const std::string& newpath, const std::string& oldpath,
                        int flags) {
-  QLockGuard guard(lock_);
-  auto from = ResolveLocked(newpath);
+  // Both resolutions run unlocked (they may block in a mounted tree); the
+  // lock protects only the table mutation below.
+  auto from = Resolve(newpath);
   if (!from.ok()) {
     return from.error();
   }
-  auto onto = ResolveLocked(oldpath);
+  auto onto = Resolve(oldpath);
   if (!onto.ok()) {
     return onto.error();
   }
+  // Entries displaced by kMRepl are destroyed only after the guard drops:
+  // their chans can clunk 9P fids (blocking RPCs).
+  std::vector<MountEntry> displaced;
+  QLockGuard guard(lock_);
   MountKey key{(*onto)->dev_id, (*onto)->qid.path};
   auto& stack = mounts_[key];
   if (stack.empty() && (flags & 3) != kMRepl) {
@@ -103,7 +120,7 @@ Status Namespace::Bind(const std::string& newpath, const std::string& oldpath,
   MountEntry entry{(*from)->CloneUnopened(), (flags & kMCreate) != 0};
   switch (flags & 3) {
     case kMRepl:
-      stack.clear();
+      displaced.swap(stack);
       entry.create = true;
       stack.push_back(std::move(entry));
       break;
@@ -125,11 +142,12 @@ Status Namespace::MountVfs(Vfs* fs, const std::string& oldpath, int flags,
   if (!root.ok()) {
     return root.error();
   }
-  QLockGuard guard(lock_);
-  auto onto = ResolveLocked(oldpath);
+  auto onto = Resolve(oldpath);
   if (!onto.ok()) {
     return onto.error();
   }
+  std::vector<MountEntry> displaced;  // destroyed after the guard (fid clunks)
+  QLockGuard guard(lock_);
   ChanPtr from = Chan::Make(root.take(), next_dev_id_++, oldpath);
   MountKey key{(*onto)->dev_id, (*onto)->qid.path};
   auto& stack = mounts_[key];
@@ -139,7 +157,7 @@ Status Namespace::MountVfs(Vfs* fs, const std::string& oldpath, int flags,
   MountEntry entry{from, (flags & kMCreate) != 0 || (flags & 3) == kMRepl};
   switch (flags & 3) {
     case kMRepl:
-      stack.clear();
+      displaced.swap(stack);
       stack.push_back(std::move(entry));
       break;
     case kMBefore:
@@ -161,11 +179,12 @@ Status Namespace::MountClient(std::shared_ptr<NinepClient> client,
   if (!root.ok()) {
     return root.error();
   }
-  QLockGuard guard(lock_);
-  auto onto = ResolveLocked(oldpath);
+  auto onto = Resolve(oldpath);
   if (!onto.ok()) {
     return onto.error();
   }
+  std::vector<MountEntry> displaced;  // destroyed after the guard (fid clunks)
+  QLockGuard guard(lock_);
   sessions_.push_back(client);
   ChanPtr from = Chan::Make(root.take(), next_dev_id_++, oldpath);
   MountKey key{(*onto)->dev_id, (*onto)->qid.path};
@@ -176,7 +195,7 @@ Status Namespace::MountClient(std::shared_ptr<NinepClient> client,
   MountEntry entry{from, (flags & kMCreate) != 0 || (flags & 3) == kMRepl};
   switch (flags & 3) {
     case kMRepl:
-      stack.clear();
+      displaced.swap(stack);
       stack.push_back(std::move(entry));
       break;
     case kMBefore:
@@ -192,16 +211,22 @@ Status Namespace::MountClient(std::shared_ptr<NinepClient> client,
 }
 
 Status Namespace::Unmount(const std::string& oldpath) {
-  QLockGuard guard(lock_);
-  // Resolve without translation effects on the final element: we want the
-  // mount key, which ResolveLocked preserves (original identity).
-  auto onto = ResolveLocked(oldpath);
+  // Resolve preserves the mounted-on chan's original identity, which is the
+  // mount key; runs unlocked like every resolution.
+  auto onto = Resolve(oldpath);
   if (!onto.ok()) {
     return onto.error();
   }
-  MountKey key{(*onto)->dev_id, (*onto)->qid.path};
-  if (mounts_.erase(key) == 0) {
-    return Error("not mounted");
+  std::vector<MountEntry> dropped;  // destroyed after the guard (fid clunks)
+  {
+    QLockGuard guard(lock_);
+    MountKey key{(*onto)->dev_id, (*onto)->qid.path};
+    auto it = mounts_.find(key);
+    if (it == mounts_.end()) {
+      return Error("not mounted");
+    }
+    dropped = std::move(it->second);
+    mounts_.erase(it);
   }
   return Status::Ok();
 }
@@ -228,23 +253,26 @@ Result<ChanPtr> Namespace::Create(const std::string& path, uint32_t perm, uint8_
   if (!parent.ok()) {
     return parent.error();
   }
-  QLockGuard guard(lock_);
   std::vector<ChanPtr> candidates;
-  if (!(*parent)->union_stack.empty()) {
-    auto it = mounts_.find(MountKey{(*parent)->dev_id, (*parent)->qid.path});
-    if (it != mounts_.end()) {
-      for (auto& entry : it->second) {
-        if (entry.create) {
-          candidates.push_back(entry.to);
+  {
+    QLockGuard guard(lock_);
+    if (!(*parent)->union_stack.empty()) {
+      auto it = mounts_.find(MountKey{(*parent)->dev_id, (*parent)->qid.path});
+      if (it != mounts_.end()) {
+        for (auto& entry : it->second) {
+          if (entry.create) {
+            candidates.push_back(entry.to);
+          }
         }
       }
+      if (candidates.empty()) {
+        return Error(kErrPerm);
+      }
+    } else {
+      candidates.push_back(*parent);
     }
-    if (candidates.empty()) {
-      return Error(kErrPerm);
-    }
-  } else {
-    candidates.push_back(*parent);
   }
+  // node->Create can block in a mounted tree (9P RPC); lock not held.
   Error last{std::string(kErrPerm)};
   for (auto& cand : candidates) {
     auto made = cand->node->Create(name, perm, mode, user);

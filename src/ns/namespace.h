@@ -38,27 +38,31 @@ class Namespace {
   explicit Namespace(Vfs* root_fs);
 
   // Resolve an absolute path to a chan (mount translation + union walk
-  // applied at every step).
-  Result<ChanPtr> Resolve(const std::string& path);
+  // applied at every step).  MAY_BLOCK: walking into a mounted 9P tree
+  // issues RPCs.  The namespace lock is held only per-step for mount
+  // translation, never across a walk, so resolution is not atomic against
+  // concurrent binds (as in Plan 9).
+  Result<ChanPtr> Resolve(const std::string& path) MAY_BLOCK;
 
   // Resolve the directory containing `path`, returning the final element
   // name via `last` (for create/remove).
-  Result<ChanPtr> ResolveParent(const std::string& path, std::string* last);
+  Result<ChanPtr> ResolveParent(const std::string& path, std::string* last) MAY_BLOCK;
 
   // bind(new, old, flags): make `newpath`'s tree visible at `oldpath`.
-  Status Bind(const std::string& newpath, const std::string& oldpath, int flags);
+  Status Bind(const std::string& newpath, const std::string& oldpath,
+              int flags) MAY_BLOCK;
 
   // Mount a local Vfs (kernel device driver or in-process server) at old.
   Status MountVfs(Vfs* fs, const std::string& oldpath, int flags,
-                  const std::string& aname = "");
+                  const std::string& aname = "") MAY_BLOCK;
 
   // Mount a remote server via the mount driver (§2.1).
   Status MountClient(std::shared_ptr<NinepClient> client, const std::string& oldpath,
                      int flags, const std::string& aname = "",
-                     const std::string& uname = "none");
+                     const std::string& uname = "none") MAY_BLOCK;
 
   // Remove every mount at oldpath.
-  Status Unmount(const std::string& oldpath);
+  Status Unmount(const std::string& oldpath) MAY_BLOCK;
 
   // Deep copy (rfork RFNAMEG-style: child namespaces evolve independently).
   std::shared_ptr<Namespace> Fork();
@@ -66,7 +70,7 @@ class Namespace {
   // Create a file/dir at path inside the resolved (possibly union) parent,
   // honouring kMCreate.
   Result<ChanPtr> Create(const std::string& path, uint32_t perm, uint8_t mode,
-                         const std::string& user);
+                         const std::string& user) MAY_BLOCK;
 
   size_t MountCount();
 
@@ -85,8 +89,7 @@ class Namespace {
 
   // If c names a mount point, return it with union_stack populated.
   ChanPtr TranslateLocked(ChanPtr c) REQUIRES(lock_);
-  Result<ChanPtr> WalkOne(const ChanPtr& from, const std::string& elem);
-  Result<ChanPtr> ResolveLocked(const std::string& path) REQUIRES(lock_);
+  Result<ChanPtr> WalkOne(const ChanPtr& from, const std::string& elem) MAY_BLOCK;
 
   QLock lock_{"namespace"};
   Vfs* root_fs_;  // set in the constructor, immutable after

@@ -34,24 +34,28 @@ class Proc {
   const std::string& user() const { return user_; }
 
   // --- file descriptors ------------------------------------------------------
+  // Open/Read/Write (and their string/file helpers) are MAY_BLOCK: the path
+  // may resolve to a device vnode that waits (a protocol data file, /net
+  // listen file, mounted 9P fid).  The fd-table lock is never held across
+  // the blocking vnode call.
 
-  Result<int> Open(const std::string& path, uint8_t mode);
-  Result<int> Create(const std::string& path, uint32_t perm, uint8_t mode);
+  Result<int> Open(const std::string& path, uint8_t mode) MAY_BLOCK;
+  Result<int> Create(const std::string& path, uint32_t perm, uint8_t mode) MAY_BLOCK;
   Status Close(int fd);
   Result<int> Dup(int fd);
 
-  Result<size_t> Read(int fd, void* buf, size_t n);
-  Result<size_t> Write(int fd, const void* buf, size_t n);
+  Result<size_t> Read(int fd, void* buf, size_t n) MAY_BLOCK;
+  Result<size_t> Write(int fd, const void* buf, size_t n) MAY_BLOCK;
   Result<uint64_t> Seek(int fd, int64_t offset, int whence);
 
   // One read() as a string — the idiom for ctl/status/cs files.
-  Result<std::string> ReadString(int fd, size_t max = 8192);
-  Status WriteString(int fd, std::string_view s);
+  Result<std::string> ReadString(int fd, size_t max = 8192) MAY_BLOCK;
+  Status WriteString(int fd, std::string_view s) MAY_BLOCK;
 
   // Whole file by path (loops reads).
-  Result<std::string> ReadFile(const std::string& path);
+  Result<std::string> ReadFile(const std::string& path) MAY_BLOCK;
   Status WriteFile(const std::string& path, std::string_view contents,
-                   bool create = true);
+                   bool create = true) MAY_BLOCK;
 
   Result<Dir> Fstat(int fd);
   Result<Dir> Stat(const std::string& path);

@@ -96,7 +96,7 @@ class DatakitSwitch {
   // or rejects, or the timeout expires.
   Result<std::shared_ptr<DkCircuit>> Dial(
       const std::string& from_host, const std::string& dest,
-      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000)) MAY_BLOCK;
 
   size_t host_count();
 

@@ -28,7 +28,7 @@ class Queue {
   ~Queue();  // releases still-queued bytes from the process depth gauge
 
   // Enqueue, sleeping while the queue is over its limit.  Fails if closed.
-  Status Put(BlockPtr b);
+  Status Put(BlockPtr b) MAY_BLOCK;
 
   // Enqueue without flow control (device input paths must not block).
   Status PutNoBlock(BlockPtr b);
@@ -38,14 +38,14 @@ class Queue {
 
   // Dequeue; blocks until a block is available.  Returns nullptr once the
   // queue is closed and drained.
-  BlockPtr Get();
+  BlockPtr Get() MAY_BLOCK;
 
   // Non-blocking dequeue; nullptr if empty.
   BlockPtr GetNoWait();
 
   // Block until at least one block is queued or the queue is closed.
   // Returns true if data is available.
-  bool WaitNonEmpty();
+  bool WaitNonEmpty() MAY_BLOCK;
 
   // No more puts; readers drain whatever is queued, then see EOF.
   void Close();

@@ -108,28 +108,29 @@ class Stream {
   // --- user (process) end --------------------------------------------------
 
   // Copy data into blocks and send them down the stream.  Returns bytes
-  // written or an error (e.g. after hangup).
-  Result<size_t> Write(const uint8_t* data, size_t n);
-  Result<size_t> Write(std::string_view s) {
+  // written or an error (e.g. after hangup).  MAY_BLOCK: put routines below
+  // can sleep on protocol windows or queue flow control.
+  Result<size_t> Write(const uint8_t* data, size_t n) MAY_BLOCK;
+  Result<size_t> Write(std::string_view s) MAY_BLOCK {
     return Write(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
   // Send one pre-formed block down (no splitting); used by RPC layers that
   // need message boundaries preserved exactly.
-  Status WriteBlock(BlockPtr b);
+  Status WriteBlock(BlockPtr b) MAY_BLOCK;
 
   // Write a control block.  `push name`, `pop` and `hangup` are interpreted
   // by the stream system; everything else goes down the stream.
-  Status WriteControl(std::string_view msg);
+  Status WriteControl(std::string_view msg) MAY_BLOCK;
 
   // Read up to n bytes.  "The read terminates when the read count is reached
   // or when the end of a delimited block is encountered."  Returns 0 at EOF
   // (hangup).  A per-stream read lock serializes readers.
-  Result<size_t> Read(uint8_t* buf, size_t n);
+  Result<size_t> Read(uint8_t* buf, size_t n) MAY_BLOCK;
 
   // Read exactly one delimited message (drains blocks up to and including
   // the next delimiter).  nullptr-sized (empty optional semantics): returns
   // empty Bytes at EOF.
-  Result<Bytes> ReadMessage();
+  Result<Bytes> ReadMessage() MAY_BLOCK;
 
   // Non-blocking check for readable data.
   bool HasInput();
@@ -171,7 +172,9 @@ class Stream {
   Queue head_queue_;
   // "A per stream read lock ensures only one process..." — serialization
   // only, guards no members; ordered before the head queue's lock.
-  QLock read_lock_{"stream.read"};
+  // Sleepable: Read/ReadMessage hold it across head_queue_.Get() by design
+  // (the whole point is to park later readers behind the blocked one).
+  QLock read_lock_{"stream.read", kSleepableClass};
   std::atomic<bool> hungup_{false};
 };
 

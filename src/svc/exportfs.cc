@@ -198,10 +198,15 @@ Status Import(Proc* proc, const std::string& dest, const std::string& remote_tre
   bool delimited = DialPathDelimited(dir);
   auto transport = proc->TransportForFd(dfd, delimited);
   if (transport == nullptr) {
+    (void)proc->Close(dfd);
     return Error(kErrBadFd);
   }
   // Initial protocol: name the tree we want.
-  P9_RETURN_IF_ERROR(transport->WriteMsg(ToBytes(remote_tree)));
+  Status named = transport->WriteMsg(ToBytes(remote_tree));
+  if (!named.ok()) {
+    (void)proc->Close(dfd);
+    return named;
+  }
   auto client = std::make_shared<NinepClient>(std::move(transport));
   Status mounted = proc->MountClient(client, local_mount, flags);
   // The data fd stays open underneath the transport; the fd table entry is

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "src/base/thread_annotations.h"
 #include "src/ns/proc.h"
 #include "src/svc/service.h"
 
@@ -25,7 +26,7 @@ using CallHandler = std::function<void(Proc* proc, int dfd, const std::string& l
 // calls to `handler`.  Stop() (or destruction) closes the announcement.
 Result<std::unique_ptr<Service>> Serve(std::shared_ptr<Proc> proc,
                                        const std::string& addr, CallHandler handler,
-                                       const std::string& name);
+                                       const std::string& name) MAY_BLOCK;
 
 // The echo server of §5.2: "echoes data on the connection until the remote
 // end closes it."

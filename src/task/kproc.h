@@ -11,6 +11,8 @@
 #include <string>
 #include <thread>
 
+#include "src/base/thread_annotations.h"
+
 namespace plan9 {
 
 class Kproc {
@@ -31,7 +33,7 @@ class Kproc {
 
   const std::string& name() const { return name_; }
   bool joinable() const { return thread_.joinable(); }
-  void Join();
+  void Join() MAY_BLOCK;  // see src/base/thread_annotations.h
 
   // Count of currently live kprocs (leak checking in tests).
   static int LiveCount();

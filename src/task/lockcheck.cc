@@ -21,6 +21,7 @@ struct Edge {
 struct Graph {
   std::mutex mu;
   std::vector<std::string> class_names;            // index = ClassId
+  std::vector<bool> sleepable;                     // index = ClassId
   std::map<ClassId, std::map<ClassId, Edge>> out;  // adjacency, first-seen sites
 };
 
@@ -81,6 +82,7 @@ ClassId RegisterClass(const char* name) {
     }
   }
   g.class_names.emplace_back(name);
+  g.sleepable.push_back(false);
   return static_cast<ClassId>(g.class_names.size() - 1);
 }
 
@@ -88,7 +90,35 @@ ClassId RegisterInstanceClass() {
   Graph& g = G();
   std::lock_guard<std::mutex> lock(g.mu);
   g.class_names.emplace_back("qlock#" + std::to_string(g.class_names.size()));
+  g.sleepable.push_back(false);
   return static_cast<ClassId>(g.class_names.size() - 1);
+}
+
+void SetClassSleepable(ClassId cls) {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.sleepable[cls] = true;
+}
+
+void OnBlock(const void* lock, const char* file, int line) {
+  for (const Held& h : t_held) {
+    if (h.lock == lock) {
+      continue;  // the rendez's own lock: released atomically by the wait
+    }
+    Graph& g = G();
+    std::lock_guard<std::mutex> glock(g.mu);
+    if (g.sleepable[h.cls]) {
+      continue;
+    }
+    std::fprintf(stderr,
+                 "plan9net lockcheck: blocking under qlock\n"
+                 "  rendez sleep at %s\n"
+                 "  while holding qlock %p (class \"%s\") acquired at %s\n"
+                 "  (only the rendez's own lock, or a class marked sleepable, "
+                 "may be held across a sleep; see DESIGN.md)\n",
+                 Site(file, line).c_str(), h.lock, Name(g, h.cls), h.site.c_str());
+    Die();
+  }
 }
 
 void UnregisterInstanceClass(ClassId cls) {

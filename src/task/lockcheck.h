@@ -43,6 +43,23 @@ ClassId RegisterInstanceClass();
 // the graph tracks only live anonymous locks).  Named classes are permanent.
 void UnregisterInstanceClass(ClassId cls);
 
+// Mark a class as *sleepable*: it is legal to hold a lock of this class
+// while the owner blocks on an unrelated Rendez.  Only two classes qualify
+// today — "stream.read" (a stream's reader serializes across Queue::Get)
+// and "9p.server.write" (frame writes to the transport serialize across a
+// flow-controlled Queue::Put).  Everything else must be dropped before
+// sleeping; see DESIGN.md "Static analysis" for the matching static rule.
+void SetClassSleepable(ClassId cls);
+
+// Called by Rendez as a sleep *begins*, before the wait can park the thread
+// (so the check fires deterministically even when the predicate is already
+// true).  `lock` is the rendez's own QLock — the one Sleep atomically
+// releases.  Aborts if the thread holds any other lock whose class is not
+// sleepable: that lock would stay held for the full (unbounded) sleep,
+// which is the blocking-under-lock deadlock class plan9lint checks
+// statically via MAY_BLOCK.
+void OnBlock(const void* lock, const char* file, int line);
+
 // Called by QLock before blocking on the underlying mutex.  Aborts (after
 // printing both acquisition sites) on self-deadlock or order inversion.
 void OnAcquire(const void* lock, ClassId cls, const char* file, int line);

@@ -30,12 +30,22 @@
 
 namespace plan9 {
 
+// Constructor tag marking a lock class *sleepable*: legal to hold while the
+// owner blocks on an unrelated Rendez.  Reserved for the two deliberate
+// hold-across-sleep idioms (stream.read, 9p.server.write); plan9lint's
+// static blocking-under-lock check reads the same list from its config.
+struct SleepableClass {};
+inline constexpr SleepableClass kSleepableClass{};
+
 class CAPABILITY("qlock") QLock {
  public:
 #if defined(PLAN9NET_LOCKCHECK)
   QLock() : class_(lockcheck::RegisterInstanceClass()) {}
   explicit QLock(const char* lock_class)
       : class_(lockcheck::RegisterClass(lock_class)), named_class_(true) {}
+  QLock(const char* lock_class, SleepableClass) : QLock(lock_class) {
+    lockcheck::SetClassSleepable(class_);
+  }
   ~QLock() {
     if (!named_class_) {
       lockcheck::UnregisterInstanceClass(class_);
@@ -68,6 +78,7 @@ class CAPABILITY("qlock") QLock {
 #else
   QLock() = default;
   explicit QLock(const char* /*lock_class*/) {}
+  QLock(const char* /*lock_class*/, SleepableClass) {}
 
   void Lock() ACQUIRE() { mutex_.lock(); }
   void Unlock() RELEASE() { mutex_.unlock(); }

@@ -28,28 +28,67 @@ class Rendez {
   Rendez(const Rendez&) = delete;
   Rendez& operator=(const Rendez&) = delete;
 
+  // Every sleep entry point is MAY_BLOCK — the transitive root of the
+  // blocking-under-lock check (tools/lint/plan9lint).  Under
+  // PLAN9NET_LOCKCHECK each sleep also asserts at run time, *before*
+  // parking, that the thread holds no lock other than `l` itself unless
+  // that lock's class is marked sleepable (lockcheck::OnBlock) — so the
+  // check fires deterministically even when the predicate is already true.
+#if defined(PLAN9NET_LOCKCHECK)
   // Block until pred() is true.  `l` must be the held QLock protecting the
   // state pred reads.
   template <typename Pred>
-  void Sleep(QLock& l, Pred pred) REQUIRES(l) {
+  void Sleep(QLock& l, Pred pred, P9_LOCK_SITE) REQUIRES(l) MAY_BLOCK {
+    lockcheck::OnBlock(&l, p9_site.file_name(), static_cast<int>(p9_site.line()));
     cv_.wait(l, pred);
   }
 
   // Block until woken (spurious wakeups possible; callers re-check state).
-  void Sleep(QLock& l) REQUIRES(l) { cv_.wait(l); }
+  void Sleep(QLock& l, P9_LOCK_SITE) REQUIRES(l) MAY_BLOCK {
+    lockcheck::OnBlock(&l, p9_site.file_name(), static_cast<int>(p9_site.line()));
+    cv_.wait(l);
+  }
 
   // As Sleep, with a timeout.  Returns false if it expired with pred false.
   template <typename Pred>
-  bool SleepFor(QLock& l, std::chrono::nanoseconds timeout, Pred pred) REQUIRES(l) {
+  bool SleepFor(QLock& l, std::chrono::nanoseconds timeout, Pred pred,
+                P9_LOCK_SITE) REQUIRES(l) MAY_BLOCK {
+    lockcheck::OnBlock(&l, p9_site.file_name(), static_cast<int>(p9_site.line()));
+    return cv_.wait_for(l, timeout, pred);
+  }
+
+  // Block until woken or `deadline` passes (callers re-check state).
+  template <typename Clock, typename Duration>
+  void SleepUntil(QLock& l, std::chrono::time_point<Clock, Duration> deadline,
+                  P9_LOCK_SITE) REQUIRES(l) MAY_BLOCK {
+    lockcheck::OnBlock(&l, p9_site.file_name(), static_cast<int>(p9_site.line()));
+    cv_.wait_until(l, deadline);
+  }
+#else
+  // Block until pred() is true.  `l` must be the held QLock protecting the
+  // state pred reads.
+  template <typename Pred>
+  void Sleep(QLock& l, Pred pred) REQUIRES(l) MAY_BLOCK {
+    cv_.wait(l, pred);
+  }
+
+  // Block until woken (spurious wakeups possible; callers re-check state).
+  void Sleep(QLock& l) REQUIRES(l) MAY_BLOCK { cv_.wait(l); }
+
+  // As Sleep, with a timeout.  Returns false if it expired with pred false.
+  template <typename Pred>
+  bool SleepFor(QLock& l, std::chrono::nanoseconds timeout, Pred pred)
+      REQUIRES(l) MAY_BLOCK {
     return cv_.wait_for(l, timeout, pred);
   }
 
   // Block until woken or `deadline` passes (callers re-check state).
   template <typename Clock, typename Duration>
   void SleepUntil(QLock& l, std::chrono::time_point<Clock, Duration> deadline)
-      REQUIRES(l) {
+      REQUIRES(l) MAY_BLOCK {
     cv_.wait_until(l, deadline);
   }
+#endif
 
   // Wake all sleepers to re-evaluate their condition.  Plan 9's wakeup wakes
   // one process; we wake all because distinct conditions can share a Rendez

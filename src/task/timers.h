@@ -48,7 +48,7 @@ class TimerWheel {
   // protocol: cancel your timers / detach your media callbacks, then Drain();
   // afterwards no callback scheduled before the Drain can still be touching
   // your state.  Must not be called from a timer callback.
-  void Drain();
+  void Drain() MAY_BLOCK;
 
   // Process-wide default instance used by the simulator and protocols.
   static TimerWheel& Default();

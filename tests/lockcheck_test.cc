@@ -152,6 +152,46 @@ TEST(LockcheckDeathTest, TryLockEstablishedOrderStillChecked) {
       "lock order inversion");
 }
 
+TEST(LockcheckDeathTest, BlockingUnderUnrelatedLockAborts) {
+  // The MAY_BLOCK runtime counterpart: sleeping on a rendez while holding a
+  // lock that is neither the rendez's own nor of a sleepable class is the
+  // blocking-under-lock deadlock class plan9lint checks statically.  The
+  // assert fires as the sleep *begins* — deterministically, even though the
+  // predicate is already true and the wait would not actually park.
+  QLock unrelated{"test.block.unrelated"};
+  QLock own{"test.block.own"};
+  Rendez r;
+  EXPECT_DEATH(
+      {
+        QLockGuard gu(unrelated);
+        QLockGuard go(own);
+        r.Sleep(own, [] { return true; });
+      },
+      "blocking under qlock");
+}
+
+TEST(Lockcheck, BlockingUnderSleepableClassIsAllowed) {
+  // The two sanctioned hold-across-sleep idioms (stream.read,
+  // 9p.server.write) are modeled by the SleepableClass tag: a sleep under
+  // such a lock must not abort.
+  QLock sleepable{"test.block.sleepable", kSleepableClass};
+  QLock own{"test.block.own2"};
+  Rendez r;
+  QLockGuard gs(sleepable);
+  QLockGuard go(own);
+  r.Sleep(own, [] { return true; });
+  EXPECT_EQ(lockcheck::HeldCount(), 2);
+}
+
+TEST(Lockcheck, SleepHoldingOnlyOwnLockIsAllowed) {
+  // The rendez-own-lock idiom itself: never a finding.
+  QLock own{"test.block.own3"};
+  Rendez r;
+  QLockGuard g(own);
+  r.Sleep(own, [] { return true; });
+  EXPECT_EQ(lockcheck::HeldCount(), 1);
+}
+
 TEST(Lockcheck, InstanceClassesAreIndependent) {
   // Unnamed locks get per-instance classes, so opposite nesting orders on
   // *different* pairs must not look like an inversion.  Distinct heap

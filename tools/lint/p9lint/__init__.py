@@ -1,0 +1,29 @@
+"""plan9lint — whole-program invariant checker for the plan9net tree.
+
+The compiler cannot see the paper's central discipline: kernel processes
+sleep on Rendez conditions, flow control blocks in Queue, and none of that
+may happen while an unrelated QLock is held (DESIGN.md section 7).  This
+package propagates the MAY_BLOCK annotation (src/base/thread_annotations.h)
+over the whole-program call graph and enforces that rule statically, plus a
+handful of project invariants generic clang-tidy cannot express:
+
+  blocking-under-lock   a call that can sleep runs while a QLock is held
+                        (the rendez-own-lock idiom and classes declared
+                        sleepable are whitelisted)
+  lock-order            a lock acquisition contradicting the declared class
+                        ranks (the same DAG src/task/lockcheck enforces at
+                        run time)
+  fd-guard              a raw fd obtained on an error-returning path that is
+                        not wrapped in FdCloser before the next early return
+  fmt-arity             StrFormat calls whose argument count disagrees with
+                        the literal format string
+  metric-name           obs registry names violating the dotted grammar of
+                        DESIGN.md section 9
+
+Frontends: `text` (always available; a purpose-built tokenizer) and
+`cindex`/`astdump` (libclang refinement of the annotation seeds and call
+graph when clang is installed; any failure falls back to text).  CI gates on
+`--frontend=text` for determinism.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,151 @@
+"""Optional libclang-backed frontends.
+
+Both frontends refine the text frontend rather than replace it: they parse
+the real AST to recover MAY_BLOCK seeds (the `annotate("plan9::may_block")`
+attribute) and direct call-graph edges with true overload resolution, then
+merge those into the text-built Program.  The checks themselves always run
+over the shared IR.
+
+Neither clang binding is guaranteed to exist in the build environment, so
+every entry point catches *all* exceptions and returns None; the driver then
+falls back to the text frontend.  CI pins `--frontend=text` for determinism
+regardless.
+"""
+
+import json
+import os
+import shlex
+import subprocess
+from typing import Dict, List, Optional, Set
+
+ANNOTATION = "plan9::may_block"
+
+
+def load_compile_commands(build_dir: str) -> List[dict]:
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path) as f:
+        return json.load(f)
+
+
+# --------------------------------------------------------------------------
+# Frontend "cindex": python clang bindings over libclang.
+# --------------------------------------------------------------------------
+
+
+def cindex_seeds(build_dir: str, files: List[str]) -> Optional[Dict[str, Set[str]]]:
+    """Return {"may_block": {qnames...}, "calls:<qname>": {callees...}} or
+    None when the bindings (or libclang itself) are unavailable."""
+    try:
+        from clang import cindex  # noqa: F401
+
+        index = cindex.Index.create()
+        db = {e["file"]: e for e in load_compile_commands(build_dir)}
+        may_block: Set[str] = set()
+        out: Dict[str, Set[str]] = {}
+
+        def qname(cur) -> str:
+            parent = cur.semantic_parent
+            if parent is not None and parent.kind in (
+                    cindex.CursorKind.CLASS_DECL,
+                    cindex.CursorKind.STRUCT_DECL):
+                return f"{parent.spelling}::{cur.spelling}"
+            return cur.spelling
+
+        def visit(cur, current: Optional[str]):
+            k = cur.kind
+            if k in (cindex.CursorKind.CXX_METHOD,
+                     cindex.CursorKind.FUNCTION_DECL,
+                     cindex.CursorKind.CONSTRUCTOR,
+                     cindex.CursorKind.DESTRUCTOR):
+                current = qname(cur)
+                for ch in cur.get_children():
+                    if (ch.kind == cindex.CursorKind.ANNOTATE_ATTR
+                            and ch.spelling == ANNOTATION):
+                        may_block.add(current)
+            elif k == cindex.CursorKind.CALL_EXPR and current:
+                ref = cur.referenced
+                if ref is not None:
+                    out.setdefault(f"calls:{current}", set()).add(qname(ref))
+            for ch in cur.get_children():
+                visit(ch, current)
+
+        for path in files:
+            entry = db.get(os.path.abspath(path)) or db.get(path)
+            args = []
+            if entry:
+                raw = entry.get("arguments") or shlex.split(entry["command"])
+                args = [a for a in raw[1:] if a not in ("-c", "-o")
+                        and not a.endswith((".o", ".cc", ".cpp"))]
+            tu = index.parse(path, args=args)
+            visit(tu.cursor, None)
+        out["may_block"] = may_block
+        return out
+    except Exception:
+        return None
+
+
+# --------------------------------------------------------------------------
+# Frontend "astdump": `clang -Xclang -ast-dump=json` parsing, for machines
+# with a clang binary but no python bindings.
+# --------------------------------------------------------------------------
+
+
+def astdump_seeds(build_dir: str, files: List[str]) -> Optional[Dict[str, Set[str]]]:
+    try:
+        db = {e["file"]: e for e in load_compile_commands(build_dir)}
+        may_block: Set[str] = set()
+
+        def walk(node, cls: Optional[str]):
+            kind = node.get("kind", "")
+            if kind in ("CXXRecordDecl",):
+                cls = node.get("name", cls)
+            if kind in ("CXXMethodDecl", "FunctionDecl", "CXXConstructorDecl",
+                        "CXXDestructorDecl"):
+                name = node.get("name", "")
+                q = f"{cls}::{name}" if cls else name
+                for ch in node.get("inner", []):
+                    if (ch.get("kind") == "AnnotateAttr"
+                            and ANNOTATION in json.dumps(ch)):
+                        may_block.add(q)
+            for ch in node.get("inner", []) or []:
+                walk(ch, cls)
+
+        for path in files:
+            entry = db.get(os.path.abspath(path)) or db.get(path)
+            extra: List[str] = []
+            if entry:
+                raw = entry.get("arguments") or shlex.split(entry["command"])
+                extra = [a for a in raw[1:]
+                         if a.startswith(("-I", "-D", "-std", "-isystem"))]
+            proc = subprocess.run(
+                ["clang++", "-Xclang", "-ast-dump=json", "-fsyntax-only",
+                 *extra, path],
+                capture_output=True, text=True, timeout=300)
+            if proc.returncode != 0 or not proc.stdout:
+                return None
+            walk(json.loads(proc.stdout), None)
+        return {"may_block": may_block}
+    except Exception:
+        return None
+
+
+def refine_program(program, seeds: Dict[str, Set[str]]) -> None:
+    """Merge clang-recovered facts into the text-built Program."""
+    for q in seeds.get("may_block", ()):
+        fn = program.functions.get(q)
+        if fn is not None:
+            fn.may_block_declared = True
+    for key, callees in seeds.items():
+        if not key.startswith("calls:"):
+            continue
+        q = key[len("calls:"):]
+        fn = program.functions.get(q)
+        if fn is None:
+            continue
+        known = {c.callee for c in fn.calls}
+        from .model import CallSite
+        for callee in callees:
+            if callee not in known and callee in program.functions:
+                fn.calls.append(CallSite(callee=callee,
+                                         name=callee.rsplit("::", 1)[-1],
+                                         line=fn.line))

@@ -1,0 +1,93 @@
+"""Project invariants plan9lint enforces.
+
+This file is the single source of truth shared (by convention, checked in
+review) with the runtime counterparts:
+
+  * SLEEPABLE_CLASSES mirrors the `kSleepableClass` constructor tags in the
+    tree (src/task/qlock.h); lockcheck::OnBlock enforces the same list at
+    run time.
+  * DECLARED_ORDER mirrors the lock hierarchy of DESIGN.md section 7, which
+    src/task/lockcheck discovers dynamically; here it is declared so a
+    *statically visible* contradiction fails CI before any test runs.
+"""
+
+# Lock classes that may legally be held while the owner blocks on an
+# unrelated Rendez.  Keep this list short and deliberate: each entry is a
+# documented hold-across-sleep idiom, not an exemption of convenience.
+SLEEPABLE_CLASSES = {
+    # Stream::Read/ReadMessage hold the per-stream read lock across
+    # Queue::Get: later readers are *supposed* to park behind the blocked
+    # one ("a per stream read lock ensures only one process...").
+    "stream.read",
+    # NinepServer::Reply holds the reply serialization lock across a
+    # flow-controlled transport WriteMsg so concurrent repliers queue
+    # behind a stalled frame write instead of interleaving frames.
+    "9p.server.write",
+}
+
+# Declared lock ranks: "A -> B" means A may be held while acquiring B.
+# Acquiring in an order whose reverse is declared is a finding.  Pairs with
+# no declared path either way are left to the runtime checker (new nesting
+# must pick a direction; see DESIGN.md).
+DECLARED_ORDER = [
+    ("stream.read", "stream.queue"),
+    # Protocol lock pairs: proto (clone/alloc) outranks its conversations.
+    ("il.proto", "il.conv"),
+    ("tcp.proto", "tcp.conv"),
+    ("udp.proto", "udp.conv"),
+    ("dk.proto", "dk.conv"),
+    ("ether.proto", "ether.conv"),
+    ("cyclone.proto", "cyclone.conv"),
+    # Conversation locks are held while emitting into the IP stack, putting
+    # to stream queues, and scheduling timers.
+    ("il.conv", "ip.stack"),
+    ("tcp.conv", "ip.stack"),
+    ("udp.conv", "ip.stack"),
+    ("il.conv", "stream.queue"),
+    ("tcp.conv", "stream.queue"),
+    ("udp.conv", "stream.queue"),
+    ("dk.conv", "stream.queue"),
+    ("ether.conv", "stream.queue"),
+    ("cyclone.conv", "stream.queue"),
+    ("il.conv", "timer"),
+    ("tcp.conv", "timer"),
+    ("udp.conv", "timer"),
+    ("dk.conv", "timer"),
+    ("cyclone.conv", "timer"),
+    # The IP stack emits onto simulated media and arms timers.
+    ("ip.stack", "sim.wire"),
+    ("ip.stack", "sim.ether"),
+    ("ip.stack", "timer"),
+]
+
+# Functions that are blocking roots even without a MAY_BLOCK token visible
+# to the frontend (names as the text frontend qualifies them).  Rendez's
+# methods are annotated in rendez.h too; listing them here keeps the checker
+# correct even if a frontend misses attribute tokens on templates.
+MAY_BLOCK_SEEDS = {
+    "Rendez::Sleep",
+    "Rendez::SleepFor",
+    "Rendez::SleepUntil",
+}
+
+# Callee base names treated as rendez sleeps: the first argument is the
+# lock the sleep atomically releases (the rendez-own-lock idiom).
+SLEEP_METHODS = {"Sleep", "SleepFor", "SleepUntil"}
+
+# Registry factory functions whose first argument must satisfy the metric
+# grammar (DESIGN.md section 9).
+METRIC_FACTORIES = {"CounterNamed", "GaugeNamed", "HistogramNamed"}
+
+# Dotted, lowercase, dash-separated words; at least family.subsystem.name.
+METRIC_FAMILIES = ("net", "ninep", "stream", "sim")
+METRIC_SEGMENT = r"[a-z0-9]+(?:-[a-z0-9]+)*"
+
+# printf-checked variadic formatters: (name, index of the format argument).
+FORMAT_FUNCTIONS = {"StrFormat": 0}
+
+# Functions returning a raw fd that the caller must guard with FdCloser (or
+# consume) before any statement that can return early.
+FD_SOURCES = {"Open", "Create", "Dial", "Accept", "Listen", "Announce", "Dup"}
+
+# Consuming a raw fd: constructing a guard, returning it, or closing it.
+FD_GUARD_TYPES = {"FdCloser"}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Run the Clang Static Analyzer over every translation unit in the compile
+# database.
+#
+#   tools/lint/run_csa.sh [build-dir]
+#
+# Uses scan-build when present, else drives `clang++ --analyze` per entry in
+# compile_commands.json.  Findings matching a line in
+# tools/lint/csa-suppressions.txt (substring match against the
+# "file:line: warning: ..." output) are dropped.  CI runs this job
+# non-blocking (continue-on-error): CSA's interprocedural nullability and
+# leak findings are valuable but too path-sensitive to gate merges on.
+set -u
+
+cd "$(dirname "$0")/../.."
+build="${1:-build}"
+supp="tools/lint/csa-suppressions.txt"
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_csa.sh: no $build/compile_commands.json — run: cmake -B $build -S ." >&2
+  exit 2
+fi
+
+clangxx="${CLANGXX:-clang++}"
+if command -v scan-build >/dev/null 2>&1; then
+  echo "run_csa.sh: using scan-build"
+  scan-build --status-bugs -o "$build/csa" \
+    cmake --build "$build" --clean-first -j "$(nproc 2>/dev/null || echo 2)"
+  exit $?
+fi
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "run_csa.sh: neither scan-build nor $clangxx found; skipping" >&2
+  exit 2
+fi
+
+# Fallback: --analyze each TU with the flags from the compile database.
+out="$build/csa-findings.txt"
+python3 - "$build" "$clangxx" > "$out" 2>&1 <<'EOF'
+import json, shlex, subprocess, sys
+build, clangxx = sys.argv[1], sys.argv[2]
+entries = json.load(open(f"{build}/compile_commands.json"))
+rc = 0
+for e in entries:
+    f = e["file"]
+    if "_deps" in f:
+        continue
+    raw = e.get("arguments") or shlex.split(e["command"])
+    keep = [a for a in raw[1:] if a.startswith(("-I", "-D", "-std", "-isystem"))]
+    p = subprocess.run([clangxx, "--analyze",
+                        "--analyzer-output", "text", *keep, f],
+                       capture_output=True, text=True, cwd=e.get("directory", "."))
+    if p.stderr.strip():
+        sys.stdout.write(p.stderr)
+sys.exit(0)
+EOF
+
+# Apply the suppression list and report.
+findings=$(grep -E "warning:" "$out" 2>/dev/null || true)
+if [ -f "$supp" ]; then
+  while IFS= read -r line; do
+    case "$line" in ""|\#*) continue;; esac
+    findings=$(printf '%s\n' "$findings" | grep -vF "$line" || true)
+  done < "$supp"
+fi
+if [ -n "$findings" ]; then
+  printf '%s\n' "$findings"
+  count=$(printf '%s\n' "$findings" | grep -c "warning:")
+  echo "run_csa.sh: $count unsuppressed finding(s)" >&2
+  exit 1
+fi
+echo "run_csa.sh: clean"
+exit 0

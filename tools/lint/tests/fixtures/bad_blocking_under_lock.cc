@@ -1,0 +1,44 @@
+// plan9lint fixture: blocking-under-lock, the bad cases.
+// Not compiled; parsed by the text frontend in run_tests.py.
+#include "src/base/thread_annotations.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class Chan {
+ public:
+  void Send() MAY_BLOCK;  // flow-controlled: can park the caller
+  void Poke();            // non-blocking
+};
+
+class Mux {
+ public:
+  void Drive() {
+    QLockGuard guard(lock_);
+    chan_->Send();  // BAD: can block while holding test.mux
+    chan_->Poke();  // fine
+  }
+
+  void DriveIndirect() {
+    QLockGuard guard(lock_);
+    Step();  // BAD: Step() transitively blocks via Chan::Send
+  }
+
+  void Step() { chan_->Send(); }  // may-block by propagation, no lock held
+
+  void BadSleep() {
+    QLockGuard gu(other_);
+    QLockGuard go(lock_);
+    r_.Sleep(lock_, [this] { return ready_; });  // BAD: test.other also held
+  }
+
+ private:
+  QLock lock_{"test.mux"};
+  QLock other_{"test.other"};
+  Rendez r_;
+  bool ready_ = false;
+  Chan* chan_ = nullptr;
+};
+
+}  // namespace plan9

@@ -1,0 +1,41 @@
+// plan9lint fixture: raw fds that can leak down early-return paths.
+#include "src/base/status.h"
+
+namespace plan9 {
+
+class Proc;
+
+Result<int> LeakyOpen(Proc* p) {
+  P9_ASSIGN_OR_RETURN(int fd, p->Open("/net/cs", kORdWr));
+  auto num = p->ReadString(fd, 32);
+  if (!num.ok()) {
+    return num.error();  // BAD: fd leaks on this path
+  }
+  return fd;
+}
+
+Result<int> LeakyViaMacro(Proc* p) {
+  P9_ASSIGN_OR_RETURN(int cfd, p->Dial("tcp!remote!564"));
+  P9_ASSIGN_OR_RETURN(auto line, p->ReadString(cfd, 32));  // BAD: hidden
+  // early return inside the macro leaks cfd before anything owns it.
+  p->Close(cfd);
+  return 0;
+}
+
+Result<int> GuardedOpen(Proc* p) {
+  P9_ASSIGN_OR_RETURN(int fd, p->Open("/net/cs", kORdWr));
+  FdCloser guard(p, fd);
+  auto num = p->ReadString(guard.get(), 32);
+  if (!num.ok()) {
+    return num.error();  // fine: guard closes fd
+  }
+  return guard.Release();
+}
+
+Result<int> ClosedOnErrorOpen(Proc* p) {
+  P9_ASSIGN_OR_RETURN(int fd, p->Open("/net/log", kORead));
+  p->Close(fd);
+  return 0;
+}
+
+}  // namespace plan9

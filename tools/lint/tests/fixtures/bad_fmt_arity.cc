@@ -1,0 +1,16 @@
+// plan9lint fixture: StrFormat argument-count mismatches.
+#include <string>
+
+namespace plan9 {
+
+std::string StrFormat(const char* fmt, ...);
+
+void Report(int n, const char* who) {
+  auto a = StrFormat("conv %d of %d", n);             // BAD: expects 2, got 1
+  auto b = StrFormat("hello %s", who, n);             // BAD: expects 1, got 2
+  auto c = StrFormat("%-5s %*d 100%%", who, 8, n);    // fine: 3 and 3
+  auto d = StrFormat("plain");                        // fine: 0 and 0
+  auto e = StrFormat("%6lld.%06lld %s", 1LL, 2LL, who);  // fine
+}
+
+}  // namespace plan9

@@ -1,0 +1,28 @@
+// plan9lint fixture: lock acquisition contradicting the declared ranks.
+#include "src/task/qlock.h"
+
+namespace plan9 {
+
+class Stack {
+ public:
+  QLock lock_{"ip.stack"};
+};
+
+class Conv {
+ public:
+  void BadNesting() {
+    QLockGuard g1(stack_->lock_);
+    QLockGuard g2(lock_);  // BAD: declared order is il.conv before ip.stack
+  }
+
+  void GoodNesting() {
+    QLockGuard g2(lock_);
+    QLockGuard g1(stack_->lock_);  // matches the declared direction
+  }
+
+ private:
+  QLock lock_{"il.conv"};
+  Stack* stack_ = nullptr;
+};
+
+}  // namespace plan9

@@ -1,0 +1,16 @@
+// plan9lint fixture: obs registry names violating the DESIGN.md section 9
+// grammar: <family>.<subsystem>.<name>, family in {net,ninep,stream,sim},
+// lowercase dash-separated segments, at least three segments.
+namespace plan9 {
+
+class MetricsRegistry;
+
+void Register(MetricsRegistry& r) {
+  r.CounterNamed("net.il.rexmits");        // fine
+  r.GaugeNamed("stream.queue.bytes");      // fine
+  r.CounterNamed("net.badUpper");          // BAD: case + only two segments
+  r.CounterNamed("foo.bar.baz");           // BAD: unknown family
+  r.HistogramNamed("ninep.rpc.latency-us");  // fine
+}
+
+}  // namespace plan9

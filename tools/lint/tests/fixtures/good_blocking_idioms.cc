@@ -1,0 +1,55 @@
+// plan9lint fixture: the sanctioned blocking idioms — zero findings.
+#include "src/base/thread_annotations.h"
+#include "src/task/qlock.h"
+#include "src/task/rendez.h"
+
+namespace plan9 {
+
+class Q {
+ public:
+  void Get() MAY_BLOCK;
+};
+
+class Waiter {
+ public:
+  void Wait() {
+    QLockGuard g(lock_);
+    // The rendez-own-lock idiom: Sleep atomically releases lock_.
+    r_.Sleep(lock_, [this] { return ready_; });
+  }
+
+  void WaitUnlockedCall() {
+    {
+      QLockGuard g(lock_);
+      ready_ = false;
+    }
+    q_->Get();  // guard scope ended: nothing held across the block
+  }
+
+  void MidScopeUnlock() {
+    QLockGuard g(lock_);
+    g.Unlock();
+    q_->Get();  // explicitly dropped before blocking
+    g.Lock();
+  }
+
+ private:
+  QLock lock_{"test.waiter"};
+  Rendez r_;
+  bool ready_ = false;
+  Q* q_ = nullptr;
+};
+
+class Reader {
+ public:
+  void Read() {
+    QLockGuard g(read_lock_);
+    q_->Get();  // OK: stream.read is a declared sleepable class
+  }
+
+ private:
+  QLock read_lock_{"stream.read", kSleepableClass};
+  Q* q_ = nullptr;
+};
+
+}  // namespace plan9

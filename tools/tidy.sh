@@ -1,15 +1,23 @@
 #!/bin/sh
 # Run clang-tidy (config: .clang-tidy) over the tree.
 #
-#   tools/tidy.sh [build-dir] [file...]
+#   tools/tidy.sh [--diff ref] [build-dir] [file...]
 #
 # Needs a configured build dir for compile_commands.json (exported by the
 # top-level CMakeLists).  With no files given, checks every .cc under
-# src/, tests/, bench/ and examples/.  Exits non-zero on any finding that
+# src/, tests/, bench/ and examples/.  With --diff REF, checks only the
+# .cc files changed relative to REF (what CI uses on pull requests; pushes
+# to main get the full scan).  Exits non-zero on any finding that
 # .clang-tidy promotes to an error.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+diff_ref=""
+if [ "${1:-}" = "--diff" ]; then
+  diff_ref="${2:?tidy.sh: --diff needs a git ref}"
+  shift 2
+fi
 
 build="${1:-build}"
 [ $# -gt 0 ] && shift
@@ -25,7 +33,18 @@ if ! command -v "$tidy" >/dev/null 2>&1; then
   exit 2
 fi
 
-if [ $# -gt 0 ]; then
+if [ -n "$diff_ref" ]; then
+  # Changed .cc files only; deleted files drop out via the -f test.  A .h
+  # change still tidies the .cc files that include it only on the full
+  # scan — the PR gate is a fast signal, not the last line of defense.
+  files=$(git diff --name-only --diff-filter=d "$diff_ref" -- \
+            'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc' \
+            'tools/*.cc' | sort)
+  if [ -z "$files" ]; then
+    echo "tidy.sh: no .cc files changed relative to $diff_ref"
+    exit 0
+  fi
+elif [ $# -gt 0 ]; then
   files="$*"
 else
   files=$(find src tests bench examples -name '*.cc' | sort)
