@@ -188,6 +188,35 @@ void CycloneConv::WireInput(Bytes frame) {
   (void)wire->Send(end, std::move(credit));
 }
 
+void CycloneProto::Unplug() {
+  std::vector<CycloneConv*> bound;
+  {
+    QLockGuard guard(lock_);
+    if (unplugged_) {
+      return;
+    }
+    unplugged_ = true;
+    for (auto& link : links_) {
+      if (link.bound != nullptr) {
+        link.wire->Detach(link.end);
+        bound.push_back(link.bound);
+        link.bound = nullptr;
+      }
+    }
+  }
+  for (CycloneConv* c : bound) {
+    {
+      QLockGuard guard(c->lock_);
+      c->connected_ = false;
+      c->link_ = -1;
+      c->wire_ = nullptr;
+    }
+    c->stream_->Hangup();
+    c->credit_.Wakeup();
+  }
+  TimerWheel::Default().Drain();
+}
+
 int CycloneProto::AddLink(Wire* wire, Wire::End end) {
   QLockGuard guard(lock_);
   links_.push_back(Link{wire, end, nullptr});

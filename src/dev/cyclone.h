@@ -82,6 +82,13 @@ class CycloneProto : public NetProto, public ProtoFiles {
   }
   Result<std::string> InfoText(NetConv* conv, const std::string& file) override;
 
+  // Crash semantics (node lifecycle): detach every bound fiber end and hang
+  // up the conversations abruptly.  The peer end of each fiber sees silence
+  // (its 9P deadline or deadman fires), never a polite close.  Idempotent;
+  // a graveyarded proto must not detach the restarted kernel's re-attached
+  // wire ends.
+  void Unplug();
+
  private:
   friend class CycloneConv;
   struct Link {
@@ -93,6 +100,7 @@ class CycloneProto : public NetProto, public ProtoFiles {
   QLock lock_{"cyclone.proto"};
   std::vector<Link> links_ GUARDED_BY(lock_);
   std::vector<std::unique_ptr<CycloneConv>> convs_ GUARDED_BY(lock_);
+  bool unplugged_ GUARDED_BY(lock_) = false;
 };
 
 }  // namespace plan9

@@ -5,12 +5,13 @@
 #include "src/base/strings.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/chaos.h"
 
 namespace plan9 {
 namespace {
 
 // Qid layout: [proto+1 : bits 20..27][conv+1 : bits 8..19][file kind : bits 0..7]
-// Root-level observability files use the low qids 2..5 (proto qids start at
+// Root-level observability files use the low qids 2..6 (proto qids start at
 // 1<<20, so the space is free).
 uint32_t QidRoot() { return 1; }
 uint32_t QidObsFile(size_t kind) { return static_cast<uint32_t>(kind + 2); }
@@ -36,8 +37,11 @@ class ConvDirVnode;
 //   /net/trace  the flight recorder ring, oldest first
 //   /net/log    kLog events only (P9_LOG lines routed when tracing is on)
 //   /net/ctl    writable: "trace on [kind...]", "trace off", "clear"
-constexpr const char* kObsFiles[] = {"stats", "trace", "log", "ctl"};
-constexpr size_t kObsFileCount = 4;
+//   /net/chaos  writable: the chaos engine (sim/chaos.h); reads render the
+//               seed, node/medium state and schedule, writes drive it
+//               ("crash gnot", "seed 42 8", "run", ...)
+constexpr const char* kObsFiles[] = {"stats", "trace", "log", "ctl", "chaos"};
+constexpr size_t kObsFileCount = 5;
 
 class ObsFileVnode : public Vnode {
  public:
@@ -49,7 +53,7 @@ class ObsFileVnode : public Vnode {
     Dir d;
     d.name = kObsFiles[kind_];
     d.qid = qid();
-    d.mode = d.name == "ctl" ? 0666 : 0444;
+    d.mode = d.name == "ctl" || d.name == "chaos" ? 0666 : 0444;
     d.type = 'I';
     return d;
   }
@@ -68,6 +72,9 @@ class ObsFileVnode : public Vnode {
     } else if (name == "log") {
       text = obs::FlightRecorder::Default().RenderText(
           static_cast<uint32_t>(obs::TraceKind::kLog));
+    } else if (name == "chaos") {
+      ChaosEngine* engine = ChaosEngine::Current();
+      text = engine != nullptr ? engine->StatusText() : "no chaos engine\n";
     } else {  // ctl reads back the current mask as a ctl-writable line
       text = StrFormat("trace mask %#x\n", obs::FlightRecorder::Default().mask());
     }
@@ -76,7 +83,16 @@ class ObsFileVnode : public Vnode {
   }
 
   Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
-    if (std::string(kObsFiles[kind_]) != "ctl") {
+    const std::string name = kObsFiles[kind_];
+    if (name == "chaos") {
+      ChaosEngine* engine = ChaosEngine::Current();
+      if (engine == nullptr) {
+        return Error("no chaos engine");
+      }
+      P9_RETURN_IF_ERROR(engine->Ctl(ToString(data)));
+      return static_cast<uint32_t>(data.size());
+    }
+    if (name != "ctl") {
       return Error(kErrPerm);
     }
     P9_RETURN_IF_ERROR(obs::FlightRecorder::Default().Ctl(ToString(data)));
@@ -450,7 +466,7 @@ class NetRootVnode : public Vnode, public std::enable_shared_from_this<NetRootVn
       Dir d;
       d.name = kObsFiles[k];
       d.qid = Qid{QidObsFile(k), 0};
-      d.mode = d.name == "ctl" ? 0666 : 0444;
+      d.mode = d.name == "ctl" || d.name == "chaos" ? 0666 : 0444;
       d.type = 'I';
       entries.push_back(std::move(d));
     }

@@ -165,7 +165,34 @@ EtherProto::EtherProto(EtherSegment* segment, MacAddr mac, std::string name)
 }
 
 EtherProto::~EtherProto() {
+  Unplug();
+}
+
+void EtherProto::Unplug() {
+  bool detach = false;
+  std::vector<EtherConv*> convs;
+  {
+    QLockGuard guard(lock_);
+    detach = !unplugged_;
+    unplugged_ = true;
+    for (auto& c : convs_) {
+      convs.push_back(c.get());
+    }
+  }
+  if (!detach) {
+    return;
+  }
   segment_->Detach(station_);
+  for (EtherConv* c : convs) {
+    bool in_use;
+    {
+      QLockGuard cguard(c->lock_);
+      in_use = c->in_use_;
+    }
+    if (in_use) {
+      c->stream_->Hangup();
+    }
+  }
   TimerWheel::Default().Drain();
 }
 

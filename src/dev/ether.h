@@ -99,6 +99,12 @@ class EtherProto : public NetProto, public ProtoFiles {
   MacAddr mac() const { return mac_; }
   EtherSegment* segment() { return segment_; }
 
+  // Crash semantics (node lifecycle): detach the station from the cable and
+  // hang up every in-use conversation's stream.  Idempotent; the destructor
+  // must not detach again (the restarted kernel may own a new station on the
+  // same segment).
+  void Unplug();
+
   // Transmit payload to dst with the given type (driver adds src).
   Status Transmit(MacAddr dst, uint16_t type, Bytes payload);
 
@@ -117,6 +123,7 @@ class EtherProto : public NetProto, public ProtoFiles {
   EtherSegment::StationId station_;
   QLock lock_{"ether.proto"};
   std::vector<std::unique_ptr<EtherConv>> convs_ GUARDED_BY(lock_);
+  bool unplugged_ GUARDED_BY(lock_) = false;
 };
 
 }  // namespace plan9

@@ -466,8 +466,61 @@ DkProto::DkProto(DatakitSwitch* dk_switch, std::string host_name)
                             [this](std::shared_ptr<DkCall> call) { IncomingCall(call); });
 }
 
+void DkProto::Unplug() {
+  bool detach = false;
+  {
+    QLockGuard guard(lock_);
+    detach = !unplugged_;
+    unplugged_ = true;
+  }
+  if (detach) {
+    switch_->DetachHost(host_name_);
+  }
+}
+
+void DkProto::Abort(const std::string& why) {
+  Unplug();
+  std::vector<DkConv*> convs;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      convs.push_back(c.get());
+    }
+  }
+  for (DkConv* c : convs) {
+    std::shared_ptr<DkCircuit> circuit;
+    DkCircuit::End end = Wire::kA;
+    {
+      QLockGuard guard(c->lock_);
+      c->dying_ = true;
+      if (c->state_ != DkConv::State::kClosed && c->state_ != DkConv::State::kIdle) {
+        c->err_ = why;
+      }
+      c->state_ = DkConv::State::kClosed;
+      c->pending_.clear();
+      c->call_.reset();  // pending incoming calls time out at the caller
+      circuit.swap(c->circuit_);
+      end = c->end_;
+      if (c->timer_ != kNoTimer) {
+        TimerWheel::Default().Cancel(c->timer_);
+        c->timer_ = kNoTimer;
+      }
+    }
+    if (circuit != nullptr) {
+      // The switch tears down a dead host's circuits: the peer observes a
+      // hangup arriving over the circuit, never our memory state.
+      circuit->Close(end);
+    }
+    c->stream_->Hangup();
+    c->window_.Wakeup();
+    c->incoming_.Wakeup();
+    c->decided_.Wakeup();
+  }
+  TimerWheel::Default().Drain();
+}
+
 DkProto::~DkProto() {
-  switch_->DetachHost(host_name_);
+  Unplug();
   {
     QLockGuard guard(lock_);
     for (auto& c : convs_) {

@@ -135,6 +135,15 @@ class DkProto : public NetProto {
   DatakitSwitch* dk() { return switch_; }
   const std::string& host_name() const { return host_name_; }
 
+  // Crash semantics (node lifecycle).  Unplug detaches this host from the
+  // switch so the name is free for the restarted kernel to re-attach — a
+  // graveyarded proto must never DetachHost again, or it would rip out its
+  // successor's registration (the "address in use" stale-registry bug).
+  void Unplug();
+  // Abort closes every circuit abruptly (the switch drops a dead host's
+  // circuits; peers see a hangup through the wire, not a polite close).
+  void Abort(const std::string& why) MAY_BLOCK;
+
  private:
   friend class DkConv;
 
@@ -145,6 +154,7 @@ class DkProto : public NetProto {
   std::string host_name_;
   QLock lock_{"dk.proto"};
   std::vector<std::unique_ptr<DkConv>> convs_ GUARDED_BY(lock_);
+  bool unplugged_ GUARDED_BY(lock_) = false;
 };
 
 }  // namespace plan9

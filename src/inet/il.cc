@@ -441,6 +441,9 @@ void IlConv::TimerFire() {
     case State::kEstablished:
       if (unanswered_queries_ >= kDeadmanQueries) {
         metrics_.deadman_closes.Inc();
+        // Recovery accounting: a conv reaped because its peer went silent
+        // (crash, partition) — the chaos invariants assert on this.
+        obs::MetricsRegistry::Default().CounterNamed("recovery.il.deadman-reaped").Inc();
         P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_), "deadman close");
         state_ = State::kClosed;
         err_ = kErrTimedOut;
@@ -734,6 +737,42 @@ IlProto::~IlProto() {
   }
   // No new packets or timer fires can reach a conversation now; wait out any
   // callback already executing.
+  TimerWheel::Default().Drain();
+}
+
+void IlProto::Abort(const std::string& why) {
+  std::vector<IlConv*> convs;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      convs.push_back(c.get());
+    }
+  }
+  for (IlConv* c : convs) {
+    bool hangup = false;
+    {
+      QLockGuard guard(c->lock_);
+      c->dying_ = true;  // a racing TimerFire must not re-arm
+      if (c->state_ != IlConv::State::kClosed) {
+        c->err_ = why;
+        c->state_ = IlConv::State::kClosed;
+        c->pending_.clear();  // listeners drop their queued calls too
+        c->HangupLocked();
+      } else if (c->timer_ != kNoTimer) {
+        TimerWheel::Default().Cancel(c->timer_);
+        c->timer_ = kNoTimer;
+      }
+      hangup = std::exchange(c->hangup_pending_, false);
+    }
+    if (hangup) {
+      c->CompleteHangup();
+    }
+    c->ready_.Wakeup();
+    c->window_.Wakeup();
+    c->incoming_.Wakeup();
+  }
+  // Wait out timer callbacks already executing; after Drain no conversation
+  // can emit or re-arm.
   TimerWheel::Default().Drain();
 }
 

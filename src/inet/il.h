@@ -197,6 +197,12 @@ class IlProto : public NetProto, public ProtoFiles {
 
   IpStack* ip() { return ip_; }
 
+  // Crash semantics (node lifecycle): abandon every conversation abruptly —
+  // queues hung up, listeners dropped, blocked users woken with `why` — and
+  // emit nothing on the wire, so the peer learns of the death only through
+  // its own deadman/keepalive machinery.  Call after IpStack::Unplug().
+  void Abort(const std::string& why) MAY_BLOCK;
+
  private:
   friend class IlConv;
 

@@ -103,21 +103,31 @@ IpStack::IpStack() : alive_(std::make_shared<std::atomic<bool>>(true)) {
   sweep_timer_ = TimerWheel::Default().Schedule(kReassemblyTimeout, arm);
 }
 
-IpStack::~IpStack() {
+IpStack::~IpStack() { Unplug(); }
+
+void IpStack::Unplug() {
   alive_->store(false);
   TimerId sweep;
   {
     QLockGuard guard(lock_);
     sweep = sweep_timer_;
+    sweep_timer_ = kNoTimer;
   }
-  TimerWheel::Default().Cancel(sweep);
+  if (sweep != kNoTimer) {
+    TimerWheel::Default().Cancel(sweep);
+  }
   {
     QLockGuard guard(lock_);
     for (auto& ifc : interfaces_) {
       if (ifc->kind == Interface::Kind::kEther && ifc->segment != nullptr) {
         ifc->segment->Detach(ifc->station);
+        // Null the medium so a later Unplug (or the destructor) cannot detach
+        // again — after a crashed kernel is graveyarded, the same station id
+        // or wire end may belong to the restarted kernel.
+        ifc->segment = nullptr;
       } else if (ifc->kind == Interface::Kind::kPtp && ifc->wire != nullptr) {
         ifc->wire->Detach(ifc->end);
+        ifc->wire = nullptr;
       }
     }
   }
@@ -319,6 +329,11 @@ Status IpStack::Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl,
 
 Status IpStack::SendOnInterface(Interface& ifc, Ipv4Addr next_hop, const Bytes& ip_packet) {
   // Caller holds lock_.
+  if ((ifc.kind == Interface::Kind::kPtp && ifc.wire == nullptr) ||
+      (ifc.kind == Interface::Kind::kEther && ifc.segment == nullptr)) {
+    // Unplugged (crashed node): the packet silently dies at the dead NIC.
+    return Error("interface unplugged");
+  }
   if (ifc.kind == Interface::Kind::kPtp) {
     return ifc.wire->Send(ifc.end, ip_packet);
   }

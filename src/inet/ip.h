@@ -75,6 +75,12 @@ class IpStack {
   // Point-to-point interface over a Wire end (Cyclone-style IP link).
   int AddPtpInterface(Wire* wire, Wire::End end, Ipv4Addr local, Ipv4Addr remote);
 
+  // Crash semantics (node lifecycle): detach every interface from its medium
+  // so the stack goes silent on the wire — no packet is sent or received
+  // afterwards — without destroying any state user fds still reference.
+  // Idempotent; the destructor skips already-unplugged interfaces.
+  void Unplug() MAY_BLOCK;
+
   // --- routing -------------------------------------------------------------
 
   // Longest-prefix-match route; gateway 0 means directly attached.

@@ -760,6 +760,39 @@ TcpProto::TcpProto(IpStack* ip) : ip_(ip) {
   ip_->RegisterProtocol(kIpProtoTcp, [this](const IpPacket& pkt) { Input(pkt); });
 }
 
+void TcpProto::Abort(const std::string& why) {
+  std::vector<TcpConv*> convs;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      convs.push_back(c.get());
+    }
+  }
+  for (TcpConv* c : convs) {
+    bool hangup = false;
+    {
+      QLockGuard guard(c->lock_);
+      c->dying_ = true;  // a racing TimerFire must not re-arm
+      if (c->state_ != TcpConv::State::kClosed) {
+        c->err_ = why;
+        c->pending_.clear();  // listeners drop their queued calls too
+        c->ResetLocked(why);  // sets kClosed + hangup_pending_, emits nothing
+      } else if (c->timer_ != kNoTimer) {
+        TimerWheel::Default().Cancel(c->timer_);
+        c->timer_ = kNoTimer;
+      }
+      hangup = std::exchange(c->hangup_pending_, false);
+    }
+    if (hangup) {
+      c->CompleteHangup();
+    }
+    c->ready_.Wakeup();
+    c->sendbuf_space_.Wakeup();
+    c->incoming_.Wakeup();
+  }
+  TimerWheel::Default().Drain();
+}
+
 TcpProto::~TcpProto() {
   ip_->UnregisterProtocol(kIpProtoTcp);
   {

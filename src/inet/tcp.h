@@ -180,6 +180,11 @@ class TcpProto : public NetProto, public ProtoFiles {
 
   IpStack* ip() { return ip_; }
 
+  // Crash semantics (node lifecycle): abandon every conversation abruptly —
+  // no FIN, no RST — so the peer sees only silence on the wire.  Call after
+  // IpStack::Unplug().
+  void Abort(const std::string& why) MAY_BLOCK;
+
  private:
   friend class TcpConv;
 

@@ -266,6 +266,27 @@ UdpProto::~UdpProto() {
   TimerWheel::Default().Drain();
 }
 
+void UdpProto::Abort(const std::string& why) {
+  (void)why;  // datagram convs carry no error string; the hangup says it all
+  std::vector<UdpConv*> convs;
+  {
+    QLockGuard guard(lock_);
+    for (auto& c : convs_) {
+      convs.push_back(c.get());
+    }
+  }
+  for (UdpConv* c : convs) {
+    {
+      QLockGuard guard(c->lock_);
+      c->state_ = UdpConv::State::kClosed;
+      c->pending_.clear();
+    }
+    c->incoming_.Wakeup();
+    c->stream_->Hangup();
+  }
+  TimerWheel::Default().Drain();
+}
+
 Result<NetConv*> UdpProto::Clone() {
   auto conv = AllocConv();
   if (!conv.ok()) {

@@ -90,6 +90,11 @@ class UdpProto : public NetProto {
 
   IpStack* ip() { return ip_; }
 
+  // Crash semantics (node lifecycle): hang up every conversation's stream
+  // and wake blocked listeners; nothing is emitted.  Call after
+  // IpStack::Unplug().
+  void Abort(const std::string& why) MAY_BLOCK;
+
  private:
   friend class UdpConv;
 

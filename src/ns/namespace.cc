@@ -231,6 +231,19 @@ Status Namespace::Unmount(const std::string& oldpath) {
   return Status::Ok();
 }
 
+void Namespace::DropSession(const std::shared_ptr<NinepClient>& client) {
+  std::vector<std::shared_ptr<NinepClient>> released;  // destroyed unlocked
+  QLockGuard guard(lock_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (*it == client) {
+      released.push_back(std::move(*it));
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::shared_ptr<Namespace> Namespace::Fork() {
   QLockGuard guard(lock_);
   auto copy = std::make_shared<Namespace>(root_fs_);

@@ -64,6 +64,12 @@ class Namespace {
   // Remove every mount at oldpath.
   Status Unmount(const std::string& oldpath) MAY_BLOCK;
 
+  // Forget a session recorded by MountClient, so an unmounted client can
+  // actually be destroyed (closing its transport and hanging up on the
+  // server).  The client stays alive while any mount entry or resolved chan
+  // still references it; dropping the last reference joins its reader.
+  void DropSession(const std::shared_ptr<NinepClient>& client) MAY_BLOCK;
+
   // Deep copy (rfork RFNAMEG-style: child namespaces evolve independently).
   std::shared_ptr<Namespace> Fork();
 

@@ -409,6 +409,10 @@ Status Proc::MountFd(int fd, const std::string& oldpath, int flags,
 
 Status Proc::Unmount(const std::string& oldpath) { return ns_->Unmount(oldpath); }
 
+void Proc::DropSession(const std::shared_ptr<NinepClient>& client) {
+  ns_->DropSession(client);
+}
+
 Result<std::pair<int, int>> Proc::Pipe() {
   auto pair = std::make_shared<PipePair>();
   auto mod0 = std::make_unique<PipeDeviceModule>();

@@ -76,6 +76,8 @@ class Proc {
   Status MountFd(int fd, const std::string& oldpath, int flags,
                  const std::string& aname = "", bool delimited = true);
   Status Unmount(const std::string& oldpath);
+  // Forget an unmounted client's session record (see Namespace::DropSession).
+  void DropSession(const std::shared_ptr<NinepClient>& client);
 
   // --- pipes -------------------------------------------------------------
 

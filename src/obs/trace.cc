@@ -21,6 +21,8 @@ const char* TraceKindName(TraceKind kind) {
       return "fault";
     case TraceKind::kLog:
       return "log";
+    case TraceKind::kChaos:
+      return "chaos";
     case TraceKind::kAll:
       return "all";
   }
@@ -29,8 +31,9 @@ const char* TraceKindName(TraceKind kind) {
 
 std::optional<TraceKind> TraceKindFromName(std::string_view name) {
   static constexpr TraceKind kKinds[] = {
-      TraceKind::kBlock, TraceKind::kIl,    TraceKind::kTcp, TraceKind::kNinep,
-      TraceKind::kDial,  TraceKind::kFault, TraceKind::kLog, TraceKind::kAll,
+      TraceKind::kBlock, TraceKind::kIl,    TraceKind::kTcp,   TraceKind::kNinep,
+      TraceKind::kDial,  TraceKind::kFault, TraceKind::kLog,   TraceKind::kChaos,
+      TraceKind::kAll,
   };
   for (TraceKind k : kKinds) {
     if (name == TraceKindName(k)) {

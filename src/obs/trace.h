@@ -40,7 +40,8 @@ enum class TraceKind : uint32_t {
   kDial = 1u << 4,   // dial/announce attempts
   kFault = 1u << 5,  // injected faults
   kLog = 1u << 6,    // routed P9_LOG lines
-  kAll = 0x7f,
+  kChaos = 1u << 7,  // chaos engine: crash/restart/partition/heal/flap
+  kAll = 0xff,
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -5,7 +5,10 @@
 #include "src/dial/dial.h"
 #include "src/ninep/client.h"
 #include "src/ns/namespace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/svc/listen.h"
+#include "src/task/rendez.h"
 
 namespace plan9 {
 namespace {
@@ -212,6 +215,154 @@ Status Import(Proc* proc, const std::string& dest, const std::string& remote_tre
   // The data fd stays open underneath the transport; the fd table entry is
   // no longer needed ("the import command ... exits").
   return mounted;
+}
+
+namespace {
+
+// Dial the remote exportfs, speak the initial protocol, and wrap the
+// connection in a 9P client — the connect half of import, factored out so
+// the remounter can re-run it.
+Result<std::shared_ptr<NinepClient>> DialExport(Proc* proc, const std::string& dest,
+                                                const std::string& remote_tree,
+                                                const ImportOptions& opts) MAY_BLOCK {
+  std::string dir;
+  P9_ASSIGN_OR_RETURN(int dfd, Dial(proc, dest, opts.redial, &dir));
+  auto transport = proc->TransportForFd(dfd, DialPathDelimited(dir));
+  if (transport == nullptr) {
+    (void)proc->Close(dfd);
+    return Error(kErrBadFd);
+  }
+  Status named = transport->WriteMsg(ToBytes(remote_tree));
+  if (!named.ok()) {
+    (void)proc->Close(dfd);
+    return named.error();
+  }
+  auto client = std::make_shared<NinepClient>(std::move(transport));
+  if (opts.rpc_timeout.count() > 0) {
+    client->SetRpcTimeout(opts.rpc_timeout);
+  }
+  return client;
+}
+
+// Shared between the OnDead hook (fires on the client's reader kproc) and
+// the remounter kproc.
+struct RemountState {
+  QLock lock{"import.remount"};
+  Rendez kick;
+  bool dead GUARDED_BY(lock) = false;
+  bool stop GUARDED_BY(lock) = false;
+  // The session currently mounted (the namespace's sessions_ record does
+  // not own it exclusively; this handle lets the remounter dismantle it).
+  std::shared_ptr<NinepClient> client GUARDED_BY(lock);
+};
+
+// Tear the current session out of the world: unmount, forget the session
+// record, and destroy the client — which closes the transport, so the
+// remote exportfs sees a hangup and can join its handler.  Never called
+// with state->lock held (the destructor joins the reader, and the reader's
+// dying OnDead hook takes state->lock).
+void Dismantle(Proc* proc, const std::string& local_mount,
+               const std::shared_ptr<RemountState>& state) MAY_BLOCK {
+  std::shared_ptr<NinepClient> corpse;
+  {
+    QLockGuard guard(state->lock);
+    corpse = std::move(state->client);
+  }
+  (void)proc->Unmount(local_mount);
+  if (corpse != nullptr) {
+    proc->DropSession(corpse);
+    corpse.reset();
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Service>> ImportManaged(Proc* proc, const std::string& dest,
+                                               const std::string& remote_tree,
+                                               const std::string& local_mount,
+                                               ImportOptions opts) {
+  if (!proc->ns()->Resolve(local_mount).ok()) {
+    auto made = proc->ns()->Create(local_mount, kDmDir | 0775, kORead, proc->user());
+    if (!made.ok()) {
+      return made.error();
+    }
+  }
+
+  auto state = std::make_shared<RemountState>();
+  auto arm = [state](const std::shared_ptr<NinepClient>& client) {
+    client->OnDead([state](const std::string&) {
+      QLockGuard guard(state->lock);
+      state->dead = true;
+      state->kick.Wakeup();
+    });
+  };
+
+  P9_ASSIGN_OR_RETURN(auto client, DialExport(proc, dest, remote_tree, opts));
+  arm(client);
+  P9_RETURN_IF_ERROR(proc->MountClient(client, local_mount, opts.flags));
+  {
+    QLockGuard guard(state->lock);
+    state->client = client;
+  }
+
+  auto svc = std::make_unique<Service>("import " + local_mount);
+  svc->OnStop([state]() {
+    QLockGuard guard(state->lock);
+    state->stop = true;
+    state->kick.Wakeup();
+  });
+  svc->Spawn([proc, dest, remote_tree, local_mount, opts, state, arm]() {
+    auto& redials = obs::MetricsRegistry::Default().CounterNamed("recovery.ninep.redials");
+    auto& remounts = obs::MetricsRegistry::Default().CounterNamed("recovery.ninep.remounts");
+    bool stopping = false;
+    while (!stopping) {
+      {
+        QLockGuard guard(state->lock);
+        state->kick.Sleep(state->lock,
+                          [&]() REQUIRES(state->lock) { return state->dead || state->stop; });
+        if (state->stop) {
+          break;
+        }
+        state->dead = false;
+      }
+      // The connection is dead.  Tear it down now rather than after the
+      // redial succeeds: in-flight walks fail fast instead of queueing RPCs
+      // against a corpse.  The dead client's data fd entry lingers in the
+      // proc's table (as plain Import's does); the vnode underneath it was
+      // closed by the client's transport, so the conversation recycles.
+      Dismantle(proc, local_mount, state);
+      P9_TRACE(obs::TraceKind::kNinep, "import", StrFormat("%s dead; redialing %s",
+                                                      local_mount.c_str(), dest.c_str()));
+      while (!stopping) {
+        redials.Inc();
+        auto fresh = DialExport(proc, dest, remote_tree, opts);
+        if (fresh.ok()) {
+          arm(*fresh);
+          Status mounted = proc->MountClient(*fresh, local_mount, opts.flags);
+          if (mounted.ok()) {
+            {
+              QLockGuard guard(state->lock);
+              state->client = *fresh;
+            }
+            remounts.Inc();
+            P9_TRACE(obs::TraceKind::kNinep, "import",
+                     StrFormat("%s remounted from %s", local_mount.c_str(), dest.c_str()));
+            break;
+          }
+        }
+        QLockGuard guard(state->lock);
+        if (state->kick.SleepFor(state->lock, std::chrono::milliseconds(100),
+                                 [&]() REQUIRES(state->lock) { return state->stop; })) {
+          stopping = true;
+        }
+      }
+    }
+    // Dismantle the import on the way out, so a graceful shutdown of the
+    // exporting node cannot deadlock waiting for a mount that would only
+    // die with the whole name space.
+    Dismantle(proc, local_mount, state);
+  });
+  return svc;
 }
 
 }  // namespace plan9

@@ -1,9 +1,11 @@
 #include "src/world/boot.h"
 
 namespace plan9 {
+namespace {
 
-Status BootNetwork(Node* node, std::shared_ptr<Ndb> db, const std::string& ndb_text,
-                   BootOptions opts) {
+// The actual boot work, shared by the first boot and every Restart replay.
+Status DoBootNetwork(Node* node, const std::shared_ptr<Ndb>& db,
+                     const std::string& ndb_text, const BootOptions& opts) {
   if (!ndb_text.empty()) {
     P9_RETURN_IF_ERROR(node->rootfs()->WriteFile("lib/ndb/local", ndb_text));
   }
@@ -53,6 +55,18 @@ Status BootNetwork(Node* node, std::shared_ptr<Ndb> db, const std::string& ndb_t
   P9_RETURN_IF_ERROR(node->base_ns()->MountVfs(cs_vfs.get(), "/net", kMAfter));
 
   return Status::Ok();
+}
+
+}  // namespace
+
+Status BootNetwork(Node* node, std::shared_ptr<Ndb> db, const std::string& ndb_text,
+                   BootOptions opts) {
+  // Record the step so Restart can rerun the boot against the fresh kernel
+  // (new CS/DNS instances mounted on the new name space), then run it now.
+  node->RecordBootStep([db, ndb_text, opts](Node* n) {
+    return DoBootNetwork(n, db, ndb_text, opts);
+  });
+  return DoBootNetwork(node, db, ndb_text, opts);
 }
 
 }  // namespace plan9

@@ -79,7 +79,7 @@ SLEEP_METHODS = {"Sleep", "SleepFor", "SleepUntil"}
 METRIC_FACTORIES = {"CounterNamed", "GaugeNamed", "HistogramNamed"}
 
 # Dotted, lowercase, dash-separated words; at least family.subsystem.name.
-METRIC_FAMILIES = ("net", "ninep", "stream", "sim")
+METRIC_FAMILIES = ("net", "ninep", "stream", "sim", "chaos", "recovery")
 METRIC_SEGMENT = r"[a-z0-9]+(?:-[a-z0-9]+)*"
 
 # printf-checked variadic formatters: (name, index of the format argument).

@@ -4,15 +4,22 @@
 // profile.  Demonstrates that all observability is plain files: the same
 // walk also runs against a *remote* /net imported with 9P (§6.1).
 //
+// With --chaos, musca is crashed and restarted between the echo traffic and
+// the export, so the final counter section shows the chaos.* / recovery.*
+// families moving.
+//
 //   netstat [--profile=burst-loss|reorder|hostile] [--rounds=N] [--trace]
+//           [--chaos]
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/dial/dial.h"
 #include "src/ndb/ndb.h"
 #include "src/ns/proc.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/faults.h"
 #include "src/svc/exportfs.h"
@@ -62,12 +69,26 @@ void WalkNet(Proc* proc, const std::string& net, const char* heading) {
   }
 }
 
+// The lifecycle and recovery counters live in the process-wide registry,
+// not any one node's /net/stats; print just those two families.
+void PrintChaosCounters() {
+  std::istringstream all(obs::MetricsRegistry::Default().RenderText());
+  std::printf("\n-- chaos/recovery counters --\n");
+  std::string line;
+  while (std::getline(all, line)) {
+    if (line.rfind("chaos.", 0) == 0 || line.rfind("recovery.", 0) == 0) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string profile_name = "none";
   int rounds = 50;
   bool trace = false;
+  bool chaos = false;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
     if (arg.rfind("--profile=", 0) == 0) {
@@ -76,10 +97,12 @@ int main(int argc, char** argv) {
       rounds = std::atoi(arg.c_str() + 9);
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else {
       std::fprintf(stderr,
                    "usage: netstat [--profile=burst-loss|reorder|hostile] "
-                   "[--rounds=N] [--trace]\n");
+                   "[--rounds=N] [--trace] [--chaos]\n");
       return 2;
     }
   }
@@ -140,6 +163,21 @@ int main(int argc, char** argv) {
     (void)client->ReadString(*fd, ping.size() * 2);
   }
 
+  // Optional chaos cycle: crash musca (silent on the wire — the echo
+  // client's conversation dies without a goodbye) and reboot it from its
+  // recorded spec before the export below, so the counter section at the
+  // end shows the lifecycle families moving.
+  if (chaos) {
+    musca.Crash();
+    Status back = musca.Restart();
+    if (!back.ok()) {
+      std::fprintf(stderr, "restart failed: %s\n", back.error().message().c_str());
+      return 1;
+    }
+    std::printf("chaos: musca crashed and restarted (generation %d)\n",
+                musca.generation());
+  }
+
   // Traffic source 2: a 9P-over-IL session — musca exports its /net, helix
   // imports it, and the final walk reads musca's counters remotely.
   auto exportsvc = StartExportfs(
@@ -166,6 +204,7 @@ int main(int argc, char** argv) {
     std::printf("\n(import of musca /net failed: %s)\n",
                 imported.error().message().c_str());
   }
+  PrintChaosCounters();
 
   if (trace) {
     auto tr = hp->ReadFile("/net/trace");
