@@ -16,6 +16,8 @@
 
 #include "src/dial/dial.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
 #include "src/ndb/ndb.h"
 #include "src/world/boot.h"
 #include "src/world/node.h"
@@ -155,6 +157,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   std::string json_path = "BENCH_il_vs_tcp.json";
+  double gate_trace_overhead = -1;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
     if (arg == "--quick") {
@@ -164,6 +167,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_path = arg.substr(7);
+    } else if (arg.rfind("--gate-trace-overhead=", 0) == 0) {
+      gate_trace_overhead = std::atof(arg.c_str() + 22);
     }
   }
   int rounds = quick ? 100 : 400;
@@ -186,6 +191,27 @@ int main(int argc, char** argv) {
       "\npaper: IL 847 LoC vs TCP 2200 LoC; ours: see tools/loc.sh output in "
       "EXPERIMENTS.md.\nIL preserves delimiters (no framing layer needed for 9P); "
       "TCP needs the marshal module.\n");
+
+  // Causal-tracing overhead (DESIGN.md §12): IL throughput with tracing off
+  // vs head sampling at 1/1000.  The off run above already measured the
+  // baseline shape; re-measure both on fresh conversations so the only
+  // variable is the sampler.
+  double il_tput_off = ThroughputMBs(
+      *std::make_unique<Conn>(Connect(w, "il", "9903")).get(), 8192, total);
+  (void)obs::FlightRecorder::Default().Ctl("trace sample 1000");
+  double il_tput_sampled = ThroughputMBs(
+      *std::make_unique<Conn>(Connect(w, "il", "9904")).get(), 8192, total);
+  (void)obs::FlightRecorder::Default().Ctl("trace sample 0");
+  obs::FlightRecorder::Default().Disable(
+      static_cast<uint32_t>(obs::TraceKind::kSpan));
+  double overhead_pct =
+      il_tput_off > 0 ? (il_tput_off - il_tput_sampled) / il_tput_off * 100.0
+                      : 0.0;
+  std::printf(
+      "\ntracing overhead on IL throughput: off %.2f MB/s, sample 1/1000 "
+      "%.2f MB/s (%.2f%%)\n",
+      il_tput_off, il_tput_sampled, overhead_pct);
+
   if (json) {
     std::ofstream out(json_path);
     out << "{\"suite\": \"il_vs_tcp\",\n\"results\": [\n";
@@ -194,9 +220,17 @@ int main(int argc, char** argv) {
           << lat_us[i] << ", \"throughput_mbs\": " << tput_mbs[i] << "}"
           << (i == 0 ? ",\n" : "\n");
     }
-    out << "],\n\"registry\": " << obs::MetricsRegistry::Default().RenderJson()
-        << "}\n";
+    out << "],\n\"trace_overhead\": {\"il_tput_off\": " << il_tput_off
+        << ", \"il_tput_sampled\": " << il_tput_sampled
+        << ", \"overhead_pct\": " << overhead_pct << "},\n\"registry\": "
+        << obs::MetricsRegistry::Default().RenderJson() << "}\n";
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (gate_trace_overhead >= 0 && overhead_pct > gate_trace_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.2f%% exceeds gate %.2f%%\n",
+                 overhead_pct, gate_trace_overhead);
+    return 1;
   }
   return 0;
 }

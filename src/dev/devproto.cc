@@ -4,11 +4,22 @@
 
 #include "src/base/strings.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sim/chaos.h"
 
 namespace plan9 {
 namespace {
+
+// Stamp the caller's active trace context onto the conversation when a ctl
+// write sets up the endpoint.  The dial library's "dial.connect" span is the
+// one live at this moment, so the conv's captured parent is exactly the hop
+// that created it (DESIGN.md §12).
+void MaybeCaptureTrace(NetConv* conv, const std::string& msg) {
+  if (HasPrefix(msg, "connect") || HasPrefix(msg, "announce")) {
+    conv->CaptureTrace(obs::Tracer::Current());
+  }
+}
 
 // Qid layout: [proto+1 : bits 20..27][conv+1 : bits 8..19][file kind : bits 0..7]
 // Root-level observability files use the low qids 2..6 (proto qids start at
@@ -75,8 +86,10 @@ class ObsFileVnode : public Vnode {
     } else if (name == "chaos") {
       ChaosEngine* engine = ChaosEngine::Current();
       text = engine != nullptr ? engine->StatusText() : "no chaos engine\n";
-    } else {  // ctl reads back the current mask as a ctl-writable line
-      text = StrFormat("trace mask %#x\n", obs::FlightRecorder::Default().mask());
+    } else {  // ctl reads back the current mask as ctl-writable lines
+      text = StrFormat("trace mask %#x\ntrace sample %u\n",
+                       obs::FlightRecorder::Default().mask(),
+                       obs::Tracer::Default().sample_interval());
     }
     auto sliced = SliceText(text, offset, count);
     return ToBytes(*sliced);
@@ -188,7 +201,9 @@ class ConvFileVnode : public Vnode {
 
   Result<uint32_t> Write(uint64_t offset, const Bytes& data) override {
     if (file_name_ == "ctl") {
-      P9_RETURN_IF_ERROR(conv_->Ctl(ToString(data)));
+      const std::string msg = ToString(data);
+      MaybeCaptureTrace(conv_, msg);
+      P9_RETURN_IF_ERROR(conv_->Ctl(msg));
       return static_cast<uint32_t>(data.size());
     }
     if (file_name_ == "data") {
@@ -273,7 +288,9 @@ class CloneVnode : public Vnode {
     if (conv_ == nullptr) {
       return Error("clone not open");
     }
-    P9_RETURN_IF_ERROR(conv_->Ctl(ToString(data)));
+    const std::string msg = ToString(data);
+    MaybeCaptureTrace(conv_, msg);
+    P9_RETURN_IF_ERROR(conv_->Ctl(msg));
     return static_cast<uint32_t>(data.size());
   }
 

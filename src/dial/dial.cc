@@ -7,6 +7,7 @@
 #include "src/base/rand.h"
 #include "src/base/strings.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace plan9 {
@@ -135,12 +136,22 @@ Result<int> CloneAndCtl(Proc* p, const Candidate& cand, std::string* conn_dir) {
 Result<int> DialOnce(Proc* p, const std::string& dest, std::string* dir, int* cfd) {
   Counters().attempts->Inc();
   P9_TRACE(obs::TraceKind::kDial, "dial", dest);
-  P9_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
-                      Translate(p, dest, /*announce=*/false));
+  // A dial is a trace root if the sampler picks it (and a child if the
+  // caller — an exportfs relay, a traced test — already carries a context).
+  obs::ScopedSpan call_span("dial.call", p->host(),
+                            obs::ScopedSpan::kRootAtEntry);
+  std::vector<Candidate> candidates;
+  {
+    obs::ScopedSpan cs_span("dial.cs", p->host());
+    P9_ASSIGN_OR_RETURN(candidates, Translate(p, dest, /*announce=*/false));
+  }
   Error last{std::string(kErrBadAddr)};
   // "Dial uses CS to translate the symbolic name to all possible destination
   // addresses and attempts to connect to each in turn until one works."
   for (const auto& cand : candidates) {
+    // The span live while the ctl write lands is the one devproto stamps
+    // onto the conversation (MaybeCaptureTrace).
+    obs::ScopedSpan connect_span("dial.connect", p->host());
     std::string conn_dir;
     auto ctl_fd = CloneAndCtl(p, cand, &conn_dir);
     if (!ctl_fd.ok()) {

@@ -269,13 +269,14 @@ std::string IlConv::StatusText() {
   // The paper's one-line conversation summary: state, local/remote address,
   // bytes each way (plus IL's adaptive-timeout state for good measure).
   Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
-  return StrFormat("il/%d %d %s %s!%u %s!%u tx %llu rx %llu rtt %lld us unacked %zu\n",
+  return StrFormat("il/%d %d %s %s!%u %s!%u tx %llu rx %llu rtt %lld us unacked %zu%s\n",
                    index_, refs.load(), StateName(state_),
                    IpToString(shown).c_str(), lport_, IpToString(raddr_).c_str(),
                    rport_,
                    static_cast<unsigned long long>(metrics_.bytes_sent.value()),
                    static_cast<unsigned long long>(metrics_.bytes_received.value()),
-                   static_cast<long long>(srtt_.count()), unacked_.size());
+                   static_cast<long long>(srtt_.count()), unacked_.size(),
+                   TraceNote().c_str());
 }
 
 std::chrono::microseconds IlConv::Srtt() {
@@ -401,6 +402,19 @@ std::chrono::microseconds IlConv::RtoLocked() const {
 
 void IlConv::RttSampleLocked(std::chrono::microseconds sample) {
   IlRttHistogram().Record(static_cast<uint64_t>(sample.count()));
+  // A sampled-trace conversation attributes its first RTT measurements to
+  // its trace as `il.rtt` point spans parented on the dial.connect span
+  // that created the conversation (DESIGN.md §12).  Bounded by the per-
+  // capture budget and gated on sampling still being on, so turning
+  // sampling off quiesces the ring and trace harvesting over IL never
+  // feeds back into the trace.
+  if (obs::FlightRecorder::Default().enabled(obs::TraceKind::kSpan) &&
+      obs::Tracer::Default().sample_interval() != 0 && trace_hi() != 0 &&
+      TakeRttSpanBudget()) {
+    obs::EmitPointSpan("il.rtt", proto_->host(), trace_hi(), trace_lo(),
+                       trace_parent(),
+                       static_cast<uint64_t>(sample.count()));
+  }
   // Van Jacobson smoothing, as adaptive as the paper demands.
   if (srtt_.count() == 0) {
     srtt_ = sample;

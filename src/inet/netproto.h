@@ -18,7 +18,9 @@
 #include <string>
 
 #include "src/base/result.h"
+#include "src/base/strings.h"
 #include "src/base/thread_annotations.h"
+#include "src/obs/span.h"
 #include "src/stream/stream.h"
 
 namespace plan9 {
@@ -68,10 +70,63 @@ class NetConv {
   // devproto driver; shown in the status file).
   std::atomic<int> refs{0};
 
+  // Causal tracing (DESIGN.md §12): the context active when the user wrote
+  // connect/announce to the ctl file, captured by devproto so late protocol
+  // events (IL RTT samples) and the status line stay attributable.  hi is
+  // written last / read first so a concurrent status reader never sees a
+  // half-stamped id.
+  void CaptureTrace(const obs::TraceContext& ctx) {
+    if (!ctx.sampled) {
+      return;
+    }
+    trace_parent_.store(ctx.span_id, std::memory_order_relaxed);
+    trace_lo_.store(ctx.trace_lo, std::memory_order_relaxed);
+    trace_rtt_budget_.store(kTraceRttBudget, std::memory_order_relaxed);
+    trace_hi_.store(ctx.trace_hi, std::memory_order_release);
+  }
+  uint64_t trace_hi() const { return trace_hi_.load(std::memory_order_acquire); }
+  uint64_t trace_lo() const { return trace_lo_.load(std::memory_order_relaxed); }
+  uint64_t trace_parent() const {
+    return trace_parent_.load(std::memory_order_relaxed);
+  }
+  // Point spans (il.rtt) are bounded per capture: without a budget a
+  // stamped conversation would emit one span per ack for its whole
+  // lifetime, flooding the ring — and since reading /net/trace over the
+  // network acks frames, harvesting the trace would *generate* trace.
+  bool TakeRttSpanBudget() {
+    int budget = trace_rtt_budget_.load(std::memory_order_relaxed);
+    while (budget > 0) {
+      if (trace_rtt_budget_.compare_exchange_weak(budget, budget - 1,
+                                                  std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // " trace <32 hex>" for status lines; empty if never dialed under a
+  // sampled context.
+  std::string TraceNote() const {
+    uint64_t hi = trace_hi();
+    uint64_t lo = trace_lo();
+    if (hi == 0 && lo == 0) {
+      return "";
+    }
+    return StrFormat(" trace %016llx%016llx", (unsigned long long)hi,
+                     (unsigned long long)lo);
+  }
+
  protected:
   int index_ = 0;
   std::string owner_ = "network";
   std::unique_ptr<Stream> stream_;
+
+ private:
+  static constexpr int kTraceRttBudget = 32;
+
+  std::atomic<uint64_t> trace_hi_{0};
+  std::atomic<uint64_t> trace_lo_{0};
+  std::atomic<uint64_t> trace_parent_{0};
+  std::atomic<int> trace_rtt_budget_{0};
 };
 
 class NetProto {
@@ -80,6 +135,11 @@ class NetProto {
 
   // Directory name under /net ("tcp", "udp", "il", "dk").
   virtual std::string name() = 0;
+
+  // The owning node's sysname, for trace-span hop labels ("" in bare
+  // protocol unit tests).
+  const std::string& host() const { return host_; }
+  void set_host(std::string host) { host_ = std::move(host); }
 
   virtual size_t MaxConvs() { return 256; }
 
@@ -91,6 +151,9 @@ class NetProto {
 
   // Number of conversation slots ever created (directory size).
   virtual size_t ConvCount() = 0;
+
+ private:
+  std::string host_;
 };
 
 }  // namespace plan9

@@ -259,12 +259,13 @@ std::string TcpConv::StatusText() {
   // byte counts every protocol now reports uniformly.
   const char* mode = lport_ != 0 && rport_ == 0 ? "announce" : "connect";
   Ipv4Addr shown = laddr_.IsUnspecified() ? proto_->ip()->PrimaryAddr() : laddr_;
-  return StrFormat("tcp/%d %d %s %s %s!%u %s!%u tx %llu rx %llu\n", index_,
+  return StrFormat("tcp/%d %d %s %s %s!%u %s!%u tx %llu rx %llu%s\n", index_,
                    refs.load(), StateNameLocked(), mode,
                    IpToString(shown).c_str(), lport_, IpToString(raddr_).c_str(),
                    rport_,
                    static_cast<unsigned long long>(metrics_.bytes_sent.value()),
-                   static_cast<unsigned long long>(metrics_.bytes_received.value()));
+                   static_cast<unsigned long long>(metrics_.bytes_received.value()),
+                   TraceNote().c_str());
 }
 
 std::chrono::microseconds TcpConv::Srtt() {

@@ -41,7 +41,10 @@ struct NinepClientStats {
 
 class NinepClient {
  public:
-  explicit NinepClient(std::unique_ptr<MsgTransport> transport);
+  // `host` labels this client's trace spans with the node it runs on
+  // ("" in transport unit tests).
+  explicit NinepClient(std::unique_ptr<MsgTransport> transport,
+                       std::string host = "");
   ~NinepClient();
 
   NinepClient(const NinepClient&) = delete;
@@ -112,6 +115,7 @@ class NinepClient {
                              std::chrono::milliseconds deadline) MAY_BLOCK;
 
   std::unique_ptr<MsgTransport> transport_;
+  std::string host_;
   QLock lock_{"9p.client"};
   std::map<uint16_t, std::shared_ptr<Pending>> pending_ GUARDED_BY(lock_);
   uint16_t next_tag_ GUARDED_BY(lock_) = 1;

@@ -243,6 +243,13 @@ Result<Bytes> Fcall::Pack() const {
       break;
     }
   }
+  if (trace.sampled) {
+    w.U32(kTraceTrailerMagic);
+    w.U64(trace.trace_hi);
+    w.U64(trace.trace_lo);
+    w.U64(trace.span_id);
+    w.U8(1);  // flags: bit 0 = sampled
+  }
   return out;
 }
 
@@ -361,6 +368,14 @@ Result<Fcall> Fcall::Unpack(const Bytes& raw) {
   }
   if (!r.ok()) {
     return Error(StrFormat("short 9p message (%s)", FcallTypeName(f.type)));
+  }
+  // Optional trace trailer; anything after the body that isn't ours stays
+  // ignored, as before.
+  if (r.remaining() >= kTraceTrailerLen && r.U32() == kTraceTrailerMagic) {
+    f.trace.trace_hi = r.U64();
+    f.trace.trace_lo = r.U64();
+    f.trace.span_id = r.U64();
+    f.trace.sampled = (r.U8() & 1) != 0;
   }
   return f;
 }

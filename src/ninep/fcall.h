@@ -23,6 +23,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
+#include "src/obs/span.h"
 
 namespace plan9 {
 
@@ -38,6 +39,15 @@ inline constexpr size_t kMaxMsg = kMaxData + 160;
 
 inline constexpr uint16_t kNoTag = 0xffff;
 inline constexpr uint32_t kNoFid = 0xffffffffu;
+
+// Causal-trace trailer (DESIGN.md §12).  A sampled TraceContext rides after
+// the fixed-width message body: magic, 128-bit trace id, the sender's span
+// id, and a flags byte.  Unpack tolerates (and both 9P1 peers ignore)
+// trailing bytes, so an unsampled or pre-trace peer interoperates; the
+// trailer costs nothing when tracing is off because Pack appends it only
+// for sampled contexts.
+inline constexpr uint32_t kTraceTrailerMagic = 0x39547230u;  // "0rT9"
+inline constexpr size_t kTraceTrailerLen = 4 + 8 + 8 + 8 + 1;
 
 // Qid: the server's unique identifier for a file.  The top bit of path is
 // the directory bit (CHDIR), as in 9P1.
@@ -152,6 +162,10 @@ struct Fcall {
   Bytes data;
   // stat / wstat
   Dir stat;
+  // Causal-trace context stamped per outstanding tag by the client;
+  // adopted by the server for the handler's downstream work.  Not part of
+  // the 9P1 message proper — carried as an optional trailer.
+  obs::TraceContext trace;
 
   bool IsT() const { return (static_cast<uint8_t>(type) & 1) == 0; }
 

@@ -14,6 +14,28 @@ obs::Counter& ServedCounter() {
       &obs::MetricsRegistry::Default().CounterNamed("ninep.srv.rpcs");
   return *c;
 }
+
+// Span op name per request type (DESIGN.md §12 grammar: "9p.server.<op>").
+const char* ServerSpanOp(FcallType t) {
+  switch (t) {
+    case FcallType::kTnop: return "9p.server.nop";
+    case FcallType::kTsession: return "9p.server.session";
+    case FcallType::kTflush: return "9p.server.flush";
+    case FcallType::kTattach: return "9p.server.attach";
+    case FcallType::kTclone: return "9p.server.clone";
+    case FcallType::kTwalk: return "9p.server.walk";
+    case FcallType::kTclwalk: return "9p.server.clwalk";
+    case FcallType::kTopen: return "9p.server.open";
+    case FcallType::kTcreate: return "9p.server.create";
+    case FcallType::kTread: return "9p.server.read";
+    case FcallType::kTwrite: return "9p.server.write";
+    case FcallType::kTclunk: return "9p.server.clunk";
+    case FcallType::kTremove: return "9p.server.remove";
+    case FcallType::kTstat: return "9p.server.stat";
+    case FcallType::kTwstat: return "9p.server.wstat";
+    default: return "9p.server.other";
+  }
+}
 }  // namespace
 
 Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
@@ -32,8 +54,8 @@ Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
 }
 
 NinepServer::NinepServer(Vfs* vfs, std::unique_ptr<MsgTransport> transport,
-                         std::string name)
-    : vfs_(vfs), transport_(std::move(transport)) {
+                         std::string name, std::string host)
+    : vfs_(vfs), transport_(std::move(transport)), host_(std::move(host)) {
   for (int i = 0; i < kWorkers; i++) {
     workers_.emplace_back(StrFormat("%s.w%d", name.c_str(), i), [this] { Worker(); });
   }
@@ -137,6 +159,12 @@ Result<NinepServer::FidState*> NinepServer::GetFidLocked(uint32_t fid) {
 
 void NinepServer::Dispatch(Fcall req) {
   ServedCounter().Inc();
+  // Adopt the context that rode in on the request's trailer: everything the
+  // handler does downstream on this worker thread (exportfs relays included)
+  // becomes part of the caller's trace, so re-exported mounts carry context
+  // through multi-hop import chains.  The handler itself is a span.
+  obs::SpanAdoption adopt(req.trace);
+  obs::ScopedSpan span(ServerSpanOp(req.type), host_);
   Fcall reply;
   reply.type = static_cast<FcallType>(static_cast<uint8_t>(req.type) + 1);
   reply.tag = req.tag;

@@ -79,9 +79,10 @@ Result<Bytes> PackDirEntries(const std::vector<Dir>& entries, uint64_t offset,
 class NinepServer {
  public:
   // Serves until EOF on the transport; call Shutdown() or destroy to stop.
-  // `vfs` must outlive the server.
+  // `vfs` must outlive the server.  `host` labels this server's trace spans
+  // with the node it runs on ("" in unit tests).
   NinepServer(Vfs* vfs, std::unique_ptr<MsgTransport> transport,
-              std::string name = "9p.server");
+              std::string name = "9p.server", std::string host = "");
   ~NinepServer();
 
   void Shutdown();
@@ -106,6 +107,7 @@ class NinepServer {
 
   Vfs* vfs_;
   std::unique_ptr<MsgTransport> transport_;
+  std::string host_;
   // Serializes replies onto the transport; never held with lock_ (Reply
   // drops lock_ before packing and writing).  Sleepable: held across
   // WriteMsg, which can block on transport flow control — by design, so

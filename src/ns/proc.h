@@ -33,6 +33,11 @@ class Proc {
   std::shared_ptr<Namespace> ns_ref() { return ns_; }
   const std::string& user() const { return user_; }
 
+  // The sysname of the node this proc runs on ("" for bare test procs);
+  // set by Node::NewProc, used to label trace spans with their hop.
+  const std::string& host() const { return host_; }
+  void set_host(std::string host) { host_ = std::move(host); }
+
   // --- file descriptors ------------------------------------------------------
   // Open/Read/Write (and their string/file helpers) are MAY_BLOCK: the path
   // may resolve to a device vnode that waits (a protocol data file, /net
@@ -106,6 +111,7 @@ class Proc {
 
   std::shared_ptr<Namespace> ns_;
   std::string user_;
+  std::string host_;
   QLock lock_{"proc.fds"};
   std::vector<std::unique_ptr<FdEntry>> fds_ GUARDED_BY(lock_);
 };

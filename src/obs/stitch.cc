@@ -1,0 +1,264 @@
+#include "src/obs/stitch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace plan9 {
+namespace obs {
+namespace {
+
+// "key=value" -> value; empty when the token is not that key.
+std::string_view ValueFor(std::string_view token, std::string_view key) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return {};
+  }
+  return token.substr(key.size() + 1);
+}
+
+uint64_t HexField(std::string_view v) {
+  return std::strtoull(std::string(v).c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+std::vector<SpanRecord> ParseSpans(const std::string& text) {
+  // Merge by (trace, span): B fills begin_s, E fills us; duplicates (the
+  // same recorder read through several mounts) are naturally idempotent.
+  std::map<std::pair<std::string, uint64_t>, SpanRecord> merged;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    auto f = Tokenize(line);
+    // "<sec.usec> span <host> B|E <op> trace=.. span=.. parent=.. [us=..]"
+    if (f.size() < 8 || f[1] != "span" || (f[3] != "B" && f[3] != "E")) {
+      continue;
+    }
+    SpanRecord rec;
+    rec.host = f[2];
+    rec.op = f[4];
+    double ts = std::strtod(f[0].c_str(), nullptr);
+    bool is_end = f[3] == "E";
+    uint64_t us = 0;
+    for (size_t i = 5; i < f.size(); i++) {
+      if (auto v = ValueFor(f[i], "trace"); !v.empty()) {
+        rec.trace = std::string(v);
+      } else if (auto s = ValueFor(f[i], "span"); !s.empty()) {
+        rec.span = HexField(s);
+      } else if (auto p = ValueFor(f[i], "parent"); !p.empty()) {
+        rec.parent = HexField(p);
+      } else if (auto u = ValueFor(f[i], "us"); !u.empty()) {
+        us = std::strtoull(std::string(u).c_str(), nullptr, 10);
+      }
+    }
+    if (rec.trace.empty() || rec.span == 0) {
+      continue;
+    }
+    auto& slot = merged[{rec.trace, rec.span}];
+    if (slot.span == 0) {
+      slot = rec;
+      slot.begin_s = ts;
+    }
+    if (is_end) {
+      slot.ended = true;
+      slot.us = us;
+    } else {
+      slot.begun = true;
+      slot.begin_s = ts;
+    }
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(merged.size());
+  for (auto& [key, rec] : merged) {
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<SpanTree> StitchSpans(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanTree> by_trace;
+  for (const auto& rec : spans) {
+    auto& tree = by_trace[rec.trace];
+    tree.trace = rec.trace;
+    tree.spans.push_back(rec);
+  }
+  std::vector<SpanTree> out;
+  for (auto& [trace, tree] : by_trace) {
+    std::sort(tree.spans.begin(), tree.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.begin_s < b.begin_s;
+              });
+    std::set<uint64_t> ids;
+    for (const auto& s : tree.spans) {
+      ids.insert(s.span);
+    }
+    for (const auto& s : tree.spans) {
+      if (s.parent == 0) {
+        tree.roots.push_back(s.span);
+      } else if (ids.count(s.parent) == 0) {
+        tree.orphans.push_back(s.span);
+      }
+      if (s.begun && !s.ended) {
+        tree.unfinished.push_back(s.span);
+      }
+    }
+    out.push_back(std::move(tree));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanTree& a, const SpanTree& b) {
+    double at = a.spans.empty() ? 0 : a.spans.front().begin_s;
+    double bt = b.spans.empty() ? 0 : b.spans.front().begin_s;
+    return at < bt;
+  });
+  return out;
+}
+
+namespace {
+
+using Children = std::map<uint64_t, std::vector<const SpanRecord*>>;
+
+Children ChildIndex(const SpanTree& tree) {
+  Children kids;
+  for (const auto& s : tree.spans) {
+    kids[s.parent].push_back(&s);
+  }
+  return kids;
+}
+
+const SpanRecord* FindSpan(const SpanTree& tree, uint64_t id) {
+  for (const auto& s : tree.spans) {
+    if (s.span == id) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void RenderNode(const SpanTree& tree, const Children& kids,
+                const SpanRecord& s, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += StrFormat("%s @%s", s.op.c_str(), s.host.c_str());
+  if (s.ended) {
+    *out += StrFormat(" %lluus", (unsigned long long)s.us);
+  }
+  if (s.begun && !s.ended) {
+    *out += " UNFINISHED";
+  }
+  bool orphan = std::find(tree.orphans.begin(), tree.orphans.end(), s.span) !=
+                tree.orphans.end();
+  if (orphan) {
+    *out += StrFormat(" ORPHAN(parent=%016llx)", (unsigned long long)s.parent);
+  }
+  *out += "\n";
+  auto it = kids.find(s.span);
+  if (it != kids.end()) {
+    for (const SpanRecord* child : it->second) {
+      RenderNode(tree, kids, *child, depth + 1, out);
+    }
+  }
+}
+
+int DepthFrom(const Children& kids, uint64_t id) {
+  int best = 0;
+  auto it = kids.find(id);
+  if (it != kids.end()) {
+    for (const SpanRecord* child : it->second) {
+      best = std::max(best, DepthFrom(kids, child->span));
+    }
+  }
+  return best + 1;
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const SpanTree& tree) {
+  std::string out = StrFormat("trace %s (%zu spans)\n", tree.trace.c_str(),
+                              tree.spans.size());
+  Children kids = ChildIndex(tree);
+  for (uint64_t root : tree.roots) {
+    if (const SpanRecord* s = FindSpan(tree, root)) {
+      RenderNode(tree, kids, *s, 1, &out);
+    }
+  }
+  // Orphans still render, flagged, so a truncated ring is inspectable.
+  for (uint64_t orphan : tree.orphans) {
+    if (const SpanRecord* s = FindSpan(tree, orphan)) {
+      RenderNode(tree, kids, *s, 1, &out);
+    }
+  }
+  return out;
+}
+
+int SpanTreeDepth(const SpanTree& tree) {
+  Children kids = ChildIndex(tree);
+  int best = 0;
+  for (uint64_t root : tree.roots) {
+    best = std::max(best, DepthFrom(kids, root));
+  }
+  for (uint64_t orphan : tree.orphans) {
+    best = std::max(best, DepthFrom(kids, orphan));
+  }
+  return best;
+}
+
+std::string CriticalPath(const SpanTree& tree) {
+  Children kids = ChildIndex(tree);
+  const SpanRecord* at = nullptr;
+  for (uint64_t root : tree.roots) {
+    const SpanRecord* s = FindSpan(tree, root);
+    if (s != nullptr && (at == nullptr || s->us > at->us)) {
+      at = s;
+    }
+  }
+  std::string out;
+  while (at != nullptr) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += StrFormat("%s@%s %lluus", at->op.c_str(), at->host.c_str(),
+                     (unsigned long long)at->us);
+    const SpanRecord* next = nullptr;
+    auto it = kids.find(at->span);
+    if (it != kids.end()) {
+      for (const SpanRecord* child : it->second) {
+        if (next == nullptr || child->us > next->us) {
+          next = child;
+        }
+      }
+    }
+    at = next;
+  }
+  return out;
+}
+
+std::string PerHopSummary(const std::vector<SpanTree>& trees) {
+  struct Hop {
+    uint64_t us = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, Hop> hops;
+  for (const auto& tree : trees) {
+    for (const auto& s : tree.spans) {
+      auto& h = hops[s.host];
+      h.us += s.us;
+      h.count++;
+    }
+  }
+  std::string out;
+  for (const auto& [host, h] : hops) {
+    out += StrFormat("%-12s %10llu us %8llu spans\n", host.c_str(),
+                     (unsigned long long)h.us, (unsigned long long)h.count);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace plan9

@@ -1,9 +1,24 @@
 #include "src/obs/trace.h"
 
+#include <cstdlib>
+
 #include "src/base/strings.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace plan9 {
 namespace obs {
+namespace {
+
+// Events overwritten before any reader rendered them (satellite of ISSUE 9):
+// surfaced in /net/stats and netstat so span loss is visible.
+Counter& DroppedCounter() {
+  static Counter* c =
+      &MetricsRegistry::Default().CounterNamed("obs.trace.dropped");
+  return *c;
+}
+
+}  // namespace
 
 const char* TraceKindName(TraceKind kind) {
   switch (kind) {
@@ -23,6 +38,8 @@ const char* TraceKindName(TraceKind kind) {
       return "log";
     case TraceKind::kChaos:
       return "chaos";
+    case TraceKind::kSpan:
+      return "span";
     case TraceKind::kAll:
       return "all";
   }
@@ -33,7 +50,7 @@ std::optional<TraceKind> TraceKindFromName(std::string_view name) {
   static constexpr TraceKind kKinds[] = {
       TraceKind::kBlock, TraceKind::kIl,    TraceKind::kTcp,   TraceKind::kNinep,
       TraceKind::kDial,  TraceKind::kFault, TraceKind::kLog,   TraceKind::kChaos,
-      TraceKind::kAll,
+      TraceKind::kSpan,  TraceKind::kAll,
   };
   for (TraceKind k : kKinds) {
     if (name == TraceKindName(k)) {
@@ -68,6 +85,12 @@ void FlightRecorder::Record(TraceKind kind, std::string src, std::string text,
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
   } else {
+    // The slot being overwritten holds the oldest event, whose sequence
+    // number is recorded_ - capacity_; if no reader has rendered that far,
+    // the event is lost unseen.
+    if (recorded_ - capacity_ >= read_seq_) {
+      DroppedCounter().Inc();
+    }
     ring_[next_ % capacity_] = std::move(ev);
   }
   next_ = (next_ + 1) % capacity_;
@@ -92,8 +115,20 @@ Status FlightRecorder::Ctl(std::string_view msg) {
     return Status::Ok();
   }
   if (fields[0] == "trace") {
+    if (fields.size() == 3 && fields[1] == "sample") {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(fields[2].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Error("usage: trace sample <1/n>");
+      }
+      Tracer::Default().SetSampleInterval(static_cast<uint32_t>(n));
+      if (n > 0) {
+        Enable(static_cast<uint32_t>(TraceKind::kSpan));
+      }
+      return Status::Ok();
+    }
     if (fields.size() < 2 || (fields[1] != "on" && fields[1] != "off")) {
-      return Error("usage: trace on|off [kind...]");
+      return Error("usage: trace on|off [kind...] | trace sample <1/n>");
     }
     bool on = fields[1] == "on";
     uint32_t kinds = 0;
@@ -119,13 +154,23 @@ Status FlightRecorder::Ctl(std::string_view msg) {
 }
 
 std::string FlightRecorder::RenderText(uint32_t kinds) {
-  QLockGuard guard(lock_);
+  // Snapshot under the lock, format outside it: text rendering is O(ring)
+  // string work, and holding obs.trace across it would stall every hot-path
+  // writer behind a slow /net/trace reader.
+  std::vector<TraceEvent> snapshot;
+  {
+    QLockGuard guard(lock_);
+    size_t n = ring_.size();
+    // Oldest-first: when the ring has wrapped, next_ indexes the oldest slot.
+    size_t start = n < capacity_ ? 0 : next_;
+    snapshot.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+      snapshot.push_back(ring_[(start + i) % n]);
+    }
+    read_seq_ = recorded_;
+  }
   std::string out;
-  size_t n = ring_.size();
-  // Oldest-first: when the ring has wrapped, next_ indexes the oldest slot.
-  size_t start = n < capacity_ ? 0 : next_;
-  for (size_t i = 0; i < n; i++) {
-    const TraceEvent& ev = ring_[(start + i) % n];
+  for (const TraceEvent& ev : snapshot) {
     if ((static_cast<uint32_t>(ev.kind) & kinds) == 0) {
       continue;
     }
@@ -149,6 +194,7 @@ void FlightRecorder::Clear() {
   QLockGuard guard(lock_);
   ring_.clear();
   next_ = 0;
+  read_seq_ = recorded_;
 }
 
 size_t FlightRecorder::EventCount() {

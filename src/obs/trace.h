@@ -41,7 +41,8 @@ enum class TraceKind : uint32_t {
   kFault = 1u << 5,  // injected faults
   kLog = 1u << 6,    // routed P9_LOG lines
   kChaos = 1u << 7,  // chaos engine: crash/restart/partition/heal/flap
-  kAll = 0xff,
+  kSpan = 1u << 8,   // causal-trace span begin/end (src/obs/span.h)
+  kAll = 0x1ff,
 };
 
 const char* TraceKindName(TraceKind kind);
@@ -59,7 +60,10 @@ struct TraceEvent {
 
 class FlightRecorder {
  public:
-  static constexpr size_t kDefaultCapacity = 4096;
+  // Sized for span traffic: a traced chaos scenario emits two records per
+  // span across every hop plus per-ack il.rtt points, and the stitcher
+  // reports a span whose parent was overwritten as an orphan.
+  static constexpr size_t kDefaultCapacity = 16384;
 
   static FlightRecorder& Default();
 
@@ -82,12 +86,16 @@ class FlightRecorder {
   // Ctl grammar (the writable /net/ctl file):
   //   trace on [kind...]    enable all kinds, or just the named ones
   //   trace off [kind...]   disable all kinds, or just the named ones
+  //   trace sample <n>      head-sample 1/n traces (0 off, 1 all); a
+  //                         non-zero n also enables the span kind
   //   clear                 drop every recorded event
   Status Ctl(std::string_view msg);
 
   // Events oldest-first, one per line:
   //   <sec.usec> <kind> <src> <text> [a [b]]
   // With a filter, only matching kinds render (log files pass kLog).
+  // Formatting happens on a snapshot, outside the ring lock, so a slow
+  // reader never stalls hot-path writers.
   std::string RenderText(uint32_t kinds = static_cast<uint32_t>(TraceKind::kAll));
 
   void Clear();
@@ -105,6 +113,10 @@ class FlightRecorder {
   std::vector<TraceEvent> ring_ GUARDED_BY(lock_);
   size_t next_ GUARDED_BY(lock_) = 0;      // slot the next event lands in
   uint64_t recorded_ GUARDED_BY(lock_) = 0;  // lifetime total
+  // Sequence number up to which events have been rendered at least once;
+  // overwriting an event past this mark bumps obs.trace.dropped — span loss
+  // is counted, never silent.
+  uint64_t read_seq_ GUARDED_BY(lock_) = 0;
 };
 
 // Record iff the kind is enabled; argument expressions (StrFormat etc.) are

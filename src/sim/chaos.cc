@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <set>
 #include <thread>
 
@@ -9,6 +10,7 @@
 #include "src/base/strings.h"
 #include "src/dial/dial.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stitch.h"
 #include "src/obs/trace.h"
 #include "src/task/kproc.h"
 #include "src/task/timers.h"
@@ -566,6 +568,33 @@ Status ScanProto(NetProto* proto, const std::string& sysname) {
   return Status::Ok();
 }
 
+// A stuck-conversation failure names the trace that dialed the conversation
+// (the status line's "trace <32 hex>" note).  Dump that trace's stitched
+// span tree to stderr so the failure arrives with its causal history
+// attached — which hop stalled, and how long each one took.
+void DumpStuckTrace(const std::string& error_message) {
+  auto pos = error_message.find(" trace ");
+  if (pos == std::string::npos) {
+    return;
+  }
+  std::string id = error_message.substr(pos + 7, 32);
+  if (id.size() != 32) {
+    return;
+  }
+  auto spans = obs::ParseSpans(obs::FlightRecorder::Default().RenderText(
+      static_cast<uint32_t>(obs::TraceKind::kSpan)));
+  for (const auto& tree : obs::StitchSpans(spans)) {
+    if (tree.trace != id) {
+      continue;
+    }
+    std::fprintf(stderr, "stuck conversation trace %s:\n%s", id.c_str(),
+                 obs::RenderSpanTree(tree).c_str());
+    return;
+  }
+  std::fprintf(stderr, "stuck conversation trace %s: no spans recorded\n",
+               id.c_str());
+}
+
 }  // namespace
 
 Status InvariantChecker::QuiescedOnce() {
@@ -595,6 +624,7 @@ Status InvariantChecker::Check(std::chrono::milliseconds deadline) {
       break;
     }
     if (TimerWheel::Clock::now() >= until) {
+      DumpStuckTrace(s.error().message());
       return s;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(25));

@@ -178,8 +178,9 @@ Result<std::unique_ptr<Service>> StartExportfs(std::shared_ptr<Proc> proc,
         // proc sharing the node's namespace stands in for "the profile of
         // the user requesting the service".
         auto serve_proc = std::make_shared<Proc>(p->ns_ref(), p->user());
+        serve_proc->set_host(p->host());
         ExportVfs vfs(serve_proc, ToString(*root));
-        NinepServer server(&vfs, std::move(transport), "exportfs");
+        NinepServer server(&vfs, std::move(transport), "exportfs", p->host());
         server.Wait();  // until the importer hangs up
         (void)p->Close(dfd);
       },
@@ -210,7 +211,7 @@ Status Import(Proc* proc, const std::string& dest, const std::string& remote_tre
     (void)proc->Close(dfd);
     return named;
   }
-  auto client = std::make_shared<NinepClient>(std::move(transport));
+  auto client = std::make_shared<NinepClient>(std::move(transport), proc->host());
   Status mounted = proc->MountClient(client, local_mount, flags);
   // The data fd stays open underneath the transport; the fd table entry is
   // no longer needed ("the import command ... exits").
@@ -237,7 +238,7 @@ Result<std::shared_ptr<NinepClient>> DialExport(Proc* proc, const std::string& d
     (void)proc->Close(dfd);
     return named.error();
   }
-  auto client = std::make_shared<NinepClient>(std::move(transport));
+  auto client = std::make_shared<NinepClient>(std::move(transport), proc->host());
   if (opts.rpc_timeout.count() > 0) {
     client->SetRpcTimeout(opts.rpc_timeout);
   }

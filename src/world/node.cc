@@ -18,6 +18,9 @@ Node::Kernel::Kernel(const std::string& sysname) {
   tcp = std::make_unique<TcpProto>(&ip);
   udp = std::make_unique<UdpProto>(&ip);
   il = std::make_unique<IlProto>(&ip);
+  tcp->set_host(sysname);
+  udp->set_host(sysname);
+  il->set_host(sysname);
 
   base_ns = std::make_shared<Namespace>(&rootfs);
   // "By convention, the protocol and device driver file systems are mounted
@@ -230,14 +233,18 @@ std::unique_ptr<Proc> Node::NewProc(const std::string& user) {
   if (k_ == nullptr) {
     return nullptr;
   }
-  return std::make_unique<Proc>(k_->base_ns, user);
+  auto p = std::make_unique<Proc>(k_->base_ns, user);
+  p->set_host(sysname_);
+  return p;
 }
 
 std::unique_ptr<Proc> Node::NewProcPrivate(const std::string& user) {
   if (k_ == nullptr) {
     return nullptr;
   }
-  return std::make_unique<Proc>(k_->base_ns->Fork(), user);
+  auto p = std::make_unique<Proc>(k_->base_ns->Fork(), user);
+  p->set_host(sysname_);
+  return p;
 }
 
 }  // namespace plan9

@@ -22,6 +22,7 @@
 #include "src/dial/dial.h"
 #include "src/ndb/ndb.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sim/chaos.h"
 #include "src/sim/datakit.h"
@@ -452,6 +453,14 @@ class SeededChaosTest : public ChaosNetTest {
 };
 
 TEST_F(SeededChaosTest, SeededScheduleRunsAndTheWorldRecovers) {
+  // CI's traced-scenario job sets PLAN9NET_TRACE_SAMPLE=1 so every dial and
+  // 9P RPC in the scenario emits spans; the dump below then feeds
+  // trace9 --stitch-file, which fails the job on orphan spans.
+  if (const char* sample = std::getenv("PLAN9NET_TRACE_SAMPLE")) {
+    ASSERT_TRUE(obs::FlightRecorder::Default()
+                    .Ctl(std::string("trace sample ") + sample)
+                    .ok());
+  }
   ASSERT_TRUE(musca_->StartService("exportfs", [](Node* n) {
     return StartExportfs(std::shared_ptr<Proc>(n->NewProc().release()),
                          "il!*!9fs");
@@ -514,6 +523,9 @@ TEST_F(SeededChaosTest, SeededScheduleRunsAndTheWorldRecovers) {
     out << "# chaos seed=" << seed << "\n"
         << engine.ScheduleText() << "\n"
         << obs::FlightRecorder::Default().RenderText();
+  }
+  if (std::getenv("PLAN9NET_TRACE_SAMPLE") != nullptr) {
+    obs::Tracer::Default().SetSampleInterval(0);
   }
   EXPECT_TRUE(recovered.ok()) << recovered.error().message();
 

@@ -318,6 +318,51 @@ def check_metric_names(files: List[FileIndex]) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Check 6: span-op-name grammar.  Dotted op names are what the trace9
+# stitcher groups per-hop latency by (DESIGN.md section 12); a misspelled
+# family silently falls out of the attribution tables.
+# --------------------------------------------------------------------------
+
+_SPAN_RE = re.compile(
+    r"^(?:%s)(?:\.%s)+$" % ("|".join(config.SPAN_FAMILIES),
+                            config.METRIC_SEGMENT))
+
+
+def check_span_names(files: List[FileIndex]) -> List[Finding]:
+    out: List[Finding] = []
+    for fi in files:
+        toks = fi.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if not (t.kind == "id" and t.text in config.SPAN_FACTORIES):
+                continue
+            j = i + 1
+            # ScopedSpan is a constructor: `ScopedSpan span("op", ...)` puts
+            # the variable name between the type and the open paren.
+            if j < n and toks[j].kind == "id":
+                j += 1
+            if not (j < n and toks[j].text == "("):
+                continue
+            j += 1
+            if j >= n or toks[j].kind != "str":
+                continue  # computed op (ClientSpanOp etc.) or a declaration
+            name = toks[j].text
+            if j + 1 < n and toks[j + 1].kind == "str":
+                continue  # concatenated literals: dynamic enough to skip
+            if not _SPAN_RE.match(name):
+                out.append(Finding(
+                    check="span-op-name",
+                    file=fi.path, line=t.line, function="",
+                    message=(f"span op {name!r} violates the grammar"
+                             f" <family>(.<segment>)+ with family in "
+                             + "{" + ",".join(config.SPAN_FAMILIES) + "}"
+                             + " and lowercase dash-separated segments"
+                               " (DESIGN.md section 12)"),
+                    detail=f"op={name}"))
+    return out
+
+
+# --------------------------------------------------------------------------
 # Driver entry.
 # --------------------------------------------------------------------------
 
@@ -335,5 +380,6 @@ def run_all(program: Program, files: List[FileIndex]) -> List[Finding]:
     findings += check_fd_guard(program, raw_bodies)
     findings += check_fmt_arity(files)
     findings += check_metric_names(files)
+    findings += check_span_names(files)
     findings.sort(key=lambda f: (f.file, f.line, f.check, f.detail))
     return findings

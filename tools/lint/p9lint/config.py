@@ -79,8 +79,15 @@ SLEEP_METHODS = {"Sleep", "SleepFor", "SleepUntil"}
 METRIC_FACTORIES = {"CounterNamed", "GaugeNamed", "HistogramNamed"}
 
 # Dotted, lowercase, dash-separated words; at least family.subsystem.name.
-METRIC_FAMILIES = ("net", "ninep", "stream", "sim", "chaos", "recovery")
+METRIC_FAMILIES = ("net", "ninep", "stream", "sim", "chaos", "recovery", "obs")
 METRIC_SEGMENT = r"[a-z0-9]+(?:-[a-z0-9]+)*"
+
+# Span factories whose literal op argument must satisfy the span-op grammar
+# (DESIGN.md section 12): <family>(.<segment>)+, lowercase dash-separated
+# segments.  ScopedSpan is a constructor, so a variable name may sit between
+# the type and the open paren; EmitPointSpan is a plain call.
+SPAN_FACTORIES = {"ScopedSpan", "EmitPointSpan"}
+SPAN_FAMILIES = ("dial", "cs", "il", "tcp", "9p", "import")
 
 # printf-checked variadic formatters: (name, index of the format argument).
 FORMAT_FUNCTIONS = {"StrFormat": 0}

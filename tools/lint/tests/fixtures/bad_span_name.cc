@@ -1,0 +1,18 @@
+// plan9lint fixture: span op names violating the DESIGN.md section 12
+// grammar: <family>(.<segment>)+, family in {dial,cs,il,tcp,9p,import},
+// lowercase dash-separated segments.
+namespace plan9 {
+namespace obs {
+class ScopedSpan;
+}  // namespace obs
+
+void Traced(const char* computed) {
+  obs::ScopedSpan span("dial.cs", "helix");           // fine
+  obs::ScopedSpan shouty("Dial.CS", "helix");         // BAD: uppercase
+  obs::ScopedSpan lost("frobnicate.walk", "helix");   // BAD: unknown family
+  obs::ScopedSpan dynamic(computed, "helix");         // computed: skipped
+  obs::EmitPointSpan("il.rtt");                       // fine
+  obs::EmitPointSpan("il");                           // BAD: family alone
+}
+
+}  // namespace plan9

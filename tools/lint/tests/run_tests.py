@@ -95,6 +95,16 @@ class MetricName(unittest.TestCase):
         ])
 
 
+class SpanOpName(unittest.TestCase):
+    def test_bad(self):
+        keys = lint("bad_span_name.cc")
+        self.assertEqual(sorted(keys), [
+            "span-op-name|bad_span_name.cc||op=Dial.CS",
+            "span-op-name|bad_span_name.cc||op=frobnicate.walk",
+            "span-op-name|bad_span_name.cc||op=il",
+        ])
+
+
 class RealTreeSmoke(unittest.TestCase):
     """The annotations the sweep added to the real headers must be visible
     to the text frontend and propagate into the core call graph."""

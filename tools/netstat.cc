@@ -69,14 +69,17 @@ void WalkNet(Proc* proc, const std::string& net, const char* heading) {
   }
 }
 
-// The lifecycle and recovery counters live in the process-wide registry,
-// not any one node's /net/stats; print just those two families.
+// The lifecycle, recovery, and recorder-health counters live in the
+// process-wide registry, not any one node's /net/stats; print just those
+// families (obs.trace.dropped says whether the flight recorder overwrote
+// events nobody had read yet).
 void PrintChaosCounters() {
   std::istringstream all(obs::MetricsRegistry::Default().RenderText());
-  std::printf("\n-- chaos/recovery counters --\n");
+  std::printf("\n-- chaos/recovery/obs counters --\n");
   std::string line;
   while (std::getline(all, line)) {
-    if (line.rfind("chaos.", 0) == 0 || line.rfind("recovery.", 0) == 0) {
+    if (line.rfind("chaos.", 0) == 0 || line.rfind("recovery.", 0) == 0 ||
+        line.rfind("obs.", 0) == 0) {
       std::printf("%s\n", line.c_str());
     }
   }
