@@ -14,6 +14,7 @@
 #include <string>
 #include <thread>
 
+#include "bench/bench_obs.h"
 #include "src/dial/dial.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
@@ -222,7 +223,8 @@ int main(int argc, char** argv) {
     }
     out << "],\n\"trace_overhead\": {\"il_tput_off\": " << il_tput_off
         << ", \"il_tput_sampled\": " << il_tput_sampled
-        << ", \"overhead_pct\": " << overhead_pct << "},\n\"registry\": "
+        << ", \"overhead_pct\": " << overhead_pct << "},\n\"block_audit\": "
+        << benchutil::RenderBlockAudit() << ",\n\"registry\": "
         << obs::MetricsRegistry::Default().RenderJson() << "}\n";
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   }

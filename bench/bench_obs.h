@@ -25,6 +25,34 @@
 namespace plan9 {
 namespace benchutil {
 
+// Derived block-audit figures (DESIGN.md section 13): payload copies and
+// heap allocations per delimited message, and the block-pool hit rate.
+// Written as their own JSON section so a trend job can gate on
+// copies_per_message / allocs_per_message without walking the registry.
+inline std::string RenderBlockAudit() {
+  auto& r = obs::MetricsRegistry::Default();
+  auto v = [&r](const char* n) {
+    return static_cast<double>(r.CounterNamed(n).value());
+  };
+  double msgs = v("stream.block.msgs");
+  double hot_msgs = v("stream.hot.msgs");
+  double hits = v("stream.block.pool-hit");
+  double misses = v("stream.block.pool-miss");
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "{\"messages\": " << static_cast<uint64_t>(msgs)
+      << ", \"copies_per_message\": "
+      << (msgs > 0 ? v("stream.block.copies") / msgs : 0.0)
+      << ", \"allocs_per_message\": "
+      << (hot_msgs > 0 ? v("stream.hot.allocs") / hot_msgs : 0.0)
+      << ", \"alloc_bytes_per_message\": "
+      << (hot_msgs > 0 ? v("stream.hot.alloc-bytes") / hot_msgs : 0.0)
+      << ", \"pool_hit_rate\": "
+      << (hits + misses > 0 ? hits / (hits + misses) : 0.0) << "}";
+  return out.str();
+}
+
 inline int RunWithObs(int argc, char** argv, const char* name) {
   bool quick = false;
   bool json = false;
@@ -67,6 +95,7 @@ inline int RunWithObs(int argc, char** argv, const char* name) {
     std::ofstream out(json_path);
     out << "{\"suite\": \"" << name << "\",\n\"google_benchmark\": "
         << (report.str().empty() ? "null" : report.str())
+        << ",\n\"block_audit\": " << RenderBlockAudit()
         << ",\n\"registry\": " << obs::MetricsRegistry::Default().RenderJson()
         << "}\n";
     std::remove(report_path.c_str());

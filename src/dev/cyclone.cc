@@ -2,6 +2,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/task/hotcheck.h"
 #include "src/task/timers.h"
 
 namespace plan9 {
@@ -15,12 +16,15 @@ class CycloneConv::Module : public StreamModule {
   explicit Module(CycloneConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "cyclone"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
+      DropBlock(std::move(b));
       return;
     }
     pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
-    if (!b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));
+    if (!delim) {
       return;
     }
     Bytes msg;
@@ -155,6 +159,7 @@ Status CycloneConv::SendMessage(const Bytes& msg) {
 }
 
 void CycloneConv::WireInput(Bytes frame) {
+  P9_HOT_ROOT("cyclone.input");
   if (frame.empty()) {
     return;
   }
@@ -169,10 +174,11 @@ void CycloneConv::WireInput(Bytes frame) {
     credit_.Wakeup();
     return;
   }
-  // Data: deliver and return credit for the consumed bytes.
+  // Data: deliver and return credit for the consumed bytes.  The wire
+  // buffer becomes the block payload (shift the tag byte out in place).
   size_t n = frame.size() - 1;
-  stream_->DeliverUp(
-      MakeDataBlock(Bytes(frame.begin() + 1, frame.end()), /*delim=*/true));
+  frame.erase(frame.begin());
+  stream_->DeliverUp(AllocDataBlock(std::move(frame), /*delim=*/true));
   Wire* wire = nullptr;
   Wire::End end = Wire::kA;
   {

@@ -45,8 +45,8 @@ class CycloneConv : public NetConv {
 
   static constexpr size_t kMaxOutstanding = 256 * 1024;
 
-  Status SendMessage(const Bytes& msg) MAY_BLOCK;  // credit sleep
-  void WireInput(Bytes frame);
+  Status SendMessage(const Bytes& msg) P9_HOT_PATH MAY_BLOCK;  // credit sleep
+  void WireInput(Bytes frame) P9_HOT_PATH;
   void Recycle();
 
   CycloneProto* proto_;

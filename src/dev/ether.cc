@@ -1,6 +1,7 @@
 #include "src/dev/ether.h"
 
 #include "src/base/strings.h"
+#include "src/task/hotcheck.h"
 #include "src/task/timers.h"
 
 namespace plan9 {
@@ -26,12 +27,15 @@ class EtherConv::Module : public StreamModule {
   explicit Module(EtherConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "ether"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
+      DropBlock(std::move(b));
       return;
     }
     pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
-    if (!b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));
+    if (!delim) {
       return;
     }
     Bytes frame;
@@ -142,7 +146,7 @@ bool EtherConv::promiscuous() const {
   return promiscuous_;
 }
 
-void EtherConv::Deliver(const EtherFrame& frame) {
+void EtherConv::Deliver(Bytes frame) {
   {
     QLockGuard guard(lock_);
     if (!in_use_) {
@@ -156,7 +160,7 @@ void EtherConv::Deliver(const EtherFrame& frame) {
     metrics_.frames_in.Inc();
   }
   // Readers see the whole frame: dst, src, type, payload.
-  stream_->DeliverUp(MakeDataBlock(frame.Pack(), /*delim=*/true));
+  stream_->DeliverUp(AllocDataBlock(std::move(frame), /*delim=*/true));
 }
 
 EtherProto::EtherProto(EtherSegment* segment, MacAddr mac, std::string name)
@@ -280,6 +284,7 @@ void EtherProto::UpdatePromiscuity() {
 }
 
 void EtherProto::Input(const EtherFrame& frame) {
+  P9_HOT_ROOT("ether.input");
   // The multiplexing module of §2.4.3, hand coded: "If several connections
   // on an interface are configured for a particular packet type, each
   // receives a copy of the incoming packets."
@@ -298,9 +303,18 @@ void EtherProto::Input(const EtherFrame& frame) {
       }
     }
   }
-  for (auto* c : matches) {
-    c->Deliver(frame);
+  if (matches.empty()) {
+    return;
   }
+  // "If several connections on an interface are configured for a particular
+  // packet type, each receives a copy of the incoming packets."  Serialize
+  // once; only the extra recipients pay for a copy.
+  Bytes packed = frame.Pack();
+  for (size_t i = 0; i + 1 < matches.size(); i++) {
+    blockaudit::NoteCopy();
+    matches[i]->Deliver(Bytes(packed));
+  }
+  matches.back()->Deliver(std::move(packed));
 }
 
 }  // namespace plan9

@@ -65,7 +65,7 @@ class EtherConv : public NetConv {
   friend class EtherProto;
   class Module;
 
-  void Deliver(const EtherFrame& frame);
+  void Deliver(Bytes frame) P9_HOT_PATH;
   void Recycle();
 
   EtherProto* proto_;
@@ -106,7 +106,7 @@ class EtherProto : public NetProto, public ProtoFiles {
   void Unplug();
 
   // Transmit payload to dst with the given type (driver adds src).
-  Status Transmit(MacAddr dst, uint16_t type, Bytes payload);
+  Status Transmit(MacAddr dst, uint16_t type, Bytes payload) P9_HOT_PATH;
 
   void UpdatePromiscuity();
 

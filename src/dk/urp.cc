@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/task/hotcheck.h"
 
 namespace plan9 {
 namespace {
@@ -40,12 +41,15 @@ class DkConv::Module : public StreamModule {
   explicit Module(DkConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "urp"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
+      DropBlock(std::move(b));
       return;
     }
     pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
-    if (!b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));
+    if (!delim) {
       return;
     }
     Bytes msg;
@@ -395,6 +399,7 @@ void DkConv::TimerFire() {
 }
 
 void DkConv::CircuitInput(Bytes cell) {
+  P9_HOT_ROOT("urp.input");
   std::vector<BlockPtr> deliveries;
   {
     QLockGuard guard(lock_);
@@ -432,7 +437,7 @@ void DkConv::CircuitInput(Bytes cell) {
         if (flags & kFlagEot) {
           metrics_.msgs_received.Inc();
           metrics_.bytes_received.Inc(partial_.size());
-          deliveries.push_back(MakeDataBlock(std::move(partial_), /*delim=*/true));
+          deliveries.push_back(AllocDataBlock(std::move(partial_), /*delim=*/true));
           partial_ = Bytes{};
         }
         EmitAckLocked();

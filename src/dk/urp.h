@@ -77,8 +77,8 @@ class DkConv : public NetConv {
   };
 
   Status AttachCircuit(std::shared_ptr<DkCircuit> circuit, DkCircuit::End end);
-  Status SendMessage(const Bytes& msg) MAY_BLOCK;  // URP window sleep
-  void CircuitInput(Bytes cell);
+  Status SendMessage(const Bytes& msg) P9_HOT_PATH MAY_BLOCK;  // URP window sleep
+  void CircuitInput(Bytes cell) P9_HOT_PATH;
   void CircuitHangup();
   void PumpLocked() REQUIRES(lock_);  // send cells while window allows
   void EmitAckLocked() REQUIRES(lock_);

@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/obs/trace.h"
+#include "src/task/hotcheck.h"
 
 namespace plan9 {
 namespace {
@@ -104,17 +105,20 @@ class IlConv::Module : public StreamModule {
   explicit Module(IlConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "il"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
+      DropBlock(std::move(b));
       return;
     }
     pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
-    if (!b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));  // payload captured; pool the node
+    if (!delim) {
       return;
     }
     Bytes msg;
     msg.swap(pending_);
-    Status s = conv_->SendMessage(msg);
+    Status s = conv_->SendMessage(std::move(msg));
     if (!s.ok()) {
       P9_LOG(kDebug) << "il send: " << s.error().message();
     }
@@ -346,7 +350,8 @@ void IlConv::CompleteHangup() {
   slot_free_ = true;
 }
 
-Status IlConv::SendMessage(const Bytes& payload) {
+Status IlConv::SendMessage(Bytes payload) {
+  P9_HOT_ROOT("il.send");
   QLockGuard guard(lock_);
   // Window flow control: the user's writing process sleeps until space.
   window_.Sleep(lock_, [&]() REQUIRES(lock_) {
@@ -356,12 +361,15 @@ Status IlConv::SendMessage(const Bytes& payload) {
     return Error(err_.empty() ? std::string(kErrHungup) : err_);
   }
   uint32_t id = next_++;
-  unacked_.push_back(Unacked{id, payload, TimerWheel::Clock::now(), false});
   metrics_.msgs_sent.Inc();
   metrics_.bytes_sent.Inc(payload.size());
   P9_TRACE(obs::TraceKind::kIl, StrFormat("il/%d", index_),
            StrFormat("send id=%u len=%zu", id, payload.size()));
-  Status s = EmitLocked(IlType::kData, id, recvd_, payload);
+  // The retransmit buffer takes the payload by move; the wire frame is
+  // serialized from it, so the user's message is copied exactly once (into
+  // the packet).
+  unacked_.push_back(Unacked{id, std::move(payload), TimerWheel::Clock::now(), false});
+  Status s = EmitLocked(IlType::kData, id, recvd_, unacked_.back().payload);
   if (unacked_.size() == 1) {
     // First outstanding message: the pending timer (if any) is ticking at
     // the keep-alive cadence — rearm at the retransmit timeout.
@@ -561,14 +569,14 @@ void IlConv::DeliverDataLocked(uint32_t id, Bytes payload, bool is_query,
     recvd_ = id;
     metrics_.msgs_received.Inc();
     metrics_.bytes_received.Inc(payload.size());
-    deliveries->push_back(MakeDataBlock(std::move(payload), /*delim=*/true));
+    deliveries->push_back(AllocDataBlock(std::move(payload), /*delim=*/true));
     // Drain any buffered successors.
     auto it = out_of_order_.find(recvd_ + 1);
     while (it != out_of_order_.end()) {
       recvd_++;
       metrics_.msgs_received.Inc();
       metrics_.bytes_received.Inc(it->second.size());
-      deliveries->push_back(MakeDataBlock(std::move(it->second), /*delim=*/true));
+      deliveries->push_back(AllocDataBlock(std::move(it->second), /*delim=*/true));
       out_of_order_.erase(it);
       it = out_of_order_.find(recvd_ + 1);
     }
@@ -729,7 +737,8 @@ void IlConv::Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint3
 }
 
 IlProto::IlProto(IpStack* ip) : ip_(ip) {
-  ip_->RegisterProtocol(kIpProtoIl, [this](const IpPacket& pkt) { Input(pkt); });
+  ip_->RegisterProtocol(kIpProtoIl,
+                        [this](IpPacket&& pkt) { Input(std::move(pkt)); });
 }
 
 IlProto::~IlProto() {
@@ -893,7 +902,8 @@ IlConv* IlProto::SpawnFromSync(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint1
   return nc;
 }
 
-void IlProto::Input(const IpPacket& pkt) {
+void IlProto::Input(IpPacket&& pkt) {
+  P9_HOT_ROOT("il.input");
   if (pkt.payload.size() < kIlHeaderSize) {
     return;
   }
@@ -911,7 +921,11 @@ void IlProto::Input(const IpPacket& pkt) {
   uint16_t dport = Get16(h + 8);
   uint32_t id = Get32(h + 10);
   uint32_t ack = Get32(h + 14);
-  Bytes payload(pkt.payload.begin() + kIlHeaderSize, pkt.payload.begin() + len);
+  // Reuse the packet's buffer for the payload: truncate the trailer, shift
+  // out the header.  One memmove, no allocation on the receive path.
+  Bytes payload = std::move(pkt.payload);
+  payload.resize(len);
+  payload.erase(payload.begin(), payload.begin() + kIlHeaderSize);
 
   // Demultiplex: exact conversation first, listener for Syncs second.
   IlConv* conv = nullptr;

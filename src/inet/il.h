@@ -113,12 +113,12 @@ class IlConv : public NetConv {
 
   // Locked() methods require lock_ held, enforced by the analysis.
   Status StartConnect(const HostPort& dest);
-  Status SendMessage(const Bytes& payload) MAY_BLOCK;  // user data path; window sleep
+  Status SendMessage(Bytes payload) P9_HOT_PATH MAY_BLOCK;  // user data path; window sleep
   void Input(Ipv4Addr src, IlType type, uint16_t sport, uint32_t id, uint32_t ack,
-             Bytes payload);
+             Bytes payload) P9_HOT_PATH;
   void HandleAckLocked(uint32_t ack) REQUIRES(lock_);
   void DeliverDataLocked(uint32_t id, Bytes payload, bool is_query,
-                         std::vector<BlockPtr>* deliveries) REQUIRES(lock_);
+                         std::vector<BlockPtr>* deliveries) P9_HOT_PATH REQUIRES(lock_);
   Status EmitLocked(IlType type, uint32_t id, uint32_t ack, const Bytes& payload)
       REQUIRES(lock_);
   void ArmTimerLocked(std::chrono::microseconds delay) REQUIRES(lock_);
@@ -206,7 +206,7 @@ class IlProto : public NetProto, public ProtoFiles {
  private:
   friend class IlConv;
 
-  void Input(const IpPacket& pkt);
+  void Input(IpPacket&& pkt) P9_HOT_PATH;
   Result<IlConv*> AllocConv();
   IlConv* SpawnFromSync(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
                         uint32_t peer_id, IlConv* listener);

@@ -553,14 +553,14 @@ void IpStack::IpInput(size_t ifc_index, const Bytes& raw) {
     }
     reassembly_.erase(key);
     guard.Unlock();
-    Deliver(whole);
+    Deliver(std::move(whole));
     return;
   }
 
-  Deliver(pkt);
+  Deliver(std::move(pkt));
 }
 
-void IpStack::Deliver(const IpPacket& pkt) {
+void IpStack::Deliver(IpPacket&& pkt) {
   ProtoHandler handler;
   {
     QLockGuard guard(lock_);
@@ -572,7 +572,7 @@ void IpStack::Deliver(const IpPacket& pkt) {
     }
     handler = it->second;
   }
-  handler(pkt);
+  handler(std::move(pkt));
 }
 
 }  // namespace plan9

@@ -61,7 +61,7 @@ struct IpMetrics {
 
 class IpStack {
  public:
-  using ProtoHandler = std::function<void(const IpPacket&)>;
+  using ProtoHandler = std::function<void(IpPacket&&)>;
 
   IpStack();
   ~IpStack();
@@ -117,7 +117,7 @@ class IpStack {
   void EtherInput(size_t ifc_index, const EtherFrame& frame);
   void PtpInput(size_t ifc_index, Bytes frame);
   void IpInput(size_t ifc_index, const Bytes& raw);
-  void Deliver(const IpPacket& pkt);
+  void Deliver(IpPacket&& pkt);
   Status Output(Ipv4Addr src, Ipv4Addr dst, uint8_t proto, uint8_t ttl, const Bytes& payload);
   Status SendOnInterface(Interface& ifc, Ipv4Addr next_hop, const Bytes& ip_packet);
   void ArpInput(size_t ifc_index, const EtherFrame& frame);

@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/obs/trace.h"
+#include "src/task/hotcheck.h"
 
 namespace plan9 {
 namespace {
@@ -73,11 +74,13 @@ class TcpConv::Module : public StreamModule {
   explicit Module(TcpConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "tcp"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
+      DropBlock(std::move(b));
       return;
     }
     Status s = conv_->QueueBytes(b->payload(), b->size());
+    RecycleBlock(std::move(b));  // bytes are in the send buffer; pool the node
     if (!s.ok()) {
       P9_LOG(kDebug) << "tcp send: " << s.error().message();
     }
@@ -575,13 +578,16 @@ void TcpConv::ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
     } else if (SeqLt(rcv_nxt_, seq)) {
       out_of_order_[seq] = std::move(payload);  // future data; buffer it
     } else {
-      // Overlap or exact: trim the old prefix and deliver.
+      // Overlap or exact: trim the old prefix and deliver.  The segment
+      // buffer moves into the block — no copy on the in-order path.
       size_t skip = rcv_nxt_ - seq;
-      deliveries->push_back(MakeDataBlock(
-          Bytes(payload.begin() + static_cast<long>(skip), payload.end()),
-          /*delim=*/false));  // TCP does not preserve delimiters
       rcv_nxt_ = seq + static_cast<uint32_t>(payload.size());
       metrics_.bytes_received.Inc(payload.size() - skip);
+      if (skip > 0) {
+        payload.erase(payload.begin(), payload.begin() + static_cast<long>(skip));
+      }
+      deliveries->push_back(AllocDataBlock(std::move(payload),
+                                           /*delim=*/false));  // TCP does not preserve delimiters
       // Drain contiguous out-of-order segments.
       for (auto it = out_of_order_.begin(); it != out_of_order_.end();) {
         uint32_t s = it->first;
@@ -595,10 +601,11 @@ void TcpConv::ProcessDataLocked(uint32_t seq, Bytes payload, bool fin,
           break;  // hole remains
         }
         size_t skip2 = rcv_nxt_ - s;
-        deliveries->push_back(MakeDataBlock(
-            Bytes(data.begin() + static_cast<long>(skip2), data.end()),
-            /*delim=*/false));
         metrics_.bytes_received.Inc(data.size() - skip2);
+        if (skip2 > 0) {
+          data.erase(data.begin(), data.begin() + static_cast<long>(skip2));
+        }
+        deliveries->push_back(AllocDataBlock(std::move(data), /*delim=*/false));
         rcv_nxt_ = e;
         it = out_of_order_.erase(it);
       }
@@ -758,7 +765,8 @@ void TcpConv::Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack,
 }
 
 TcpProto::TcpProto(IpStack* ip) : ip_(ip) {
-  ip_->RegisterProtocol(kIpProtoTcp, [this](const IpPacket& pkt) { Input(pkt); });
+  ip_->RegisterProtocol(kIpProtoTcp,
+                        [this](IpPacket&& pkt) { Input(std::move(pkt)); });
 }
 
 void TcpProto::Abort(const std::string& why) {
@@ -926,7 +934,8 @@ void TcpProto::SendRst(Ipv4Addr src, Ipv4Addr dst, uint16_t sport, uint16_t dpor
   (void)ip_->Send(kIpProtoTcp, src, dst, pkt);
 }
 
-void TcpProto::Input(const IpPacket& pkt) {
+void TcpProto::Input(IpPacket&& pkt) {
+  P9_HOT_ROOT("tcp.input");
   if (pkt.payload.size() < kTcpHeaderSize) {
     return;
   }
@@ -945,7 +954,10 @@ void TcpProto::Input(const IpPacket& pkt) {
     return;
   }
   uint16_t wnd = Get16(h + 14);
-  Bytes payload(pkt.payload.begin() + static_cast<long>(header_len), pkt.payload.end());
+  // Reuse the packet's buffer for the payload (shift the header out in
+  // place): no allocation on the receive path.
+  Bytes payload = std::move(pkt.payload);
+  payload.erase(payload.begin(), payload.begin() + static_cast<long>(header_len));
 
   TcpConv* conv = nullptr;
   TcpConv* listener = nullptr;

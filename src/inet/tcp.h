@@ -90,9 +90,9 @@ class TcpConv : public NetConv {
   class Module;
 
   Status StartConnect(const HostPort& dest);
-  Status QueueBytes(const uint8_t* data, size_t n) MAY_BLOCK;  // user data path; sndbuf sleep
+  Status QueueBytes(const uint8_t* data, size_t n) P9_HOT_PATH MAY_BLOCK;  // user data path; sndbuf sleep
   void Input(Ipv4Addr src, uint16_t sport, uint32_t seq, uint32_t ack, uint16_t flags,
-             uint16_t wnd, Bytes payload);
+             uint16_t wnd, Bytes payload) P9_HOT_PATH;
   void TrySendLocked() REQUIRES(lock_);
   void EmitLocked(uint16_t flags, uint32_t seq, size_t payload_off, size_t payload_len)
       REQUIRES(lock_);
@@ -188,7 +188,7 @@ class TcpProto : public NetProto, public ProtoFiles {
  private:
   friend class TcpConv;
 
-  void Input(const IpPacket& pkt);
+  void Input(IpPacket&& pkt) P9_HOT_PATH;
   Result<TcpConv*> AllocConv();
   TcpConv* SpawnFromSyn(Ipv4Addr dst, Ipv4Addr src, uint16_t dport, uint16_t sport,
                         uint32_t peer_seq, TcpConv* listener);

@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/task/hotcheck.h"
 #include "src/task/timers.h"
 
 namespace plan9 {
@@ -42,12 +43,15 @@ class UdpConv::Module : public StreamModule {
   explicit Module(UdpConv* conv) : conv_(conv) {}
   std::string_view name() const override { return "udp"; }
 
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type != BlockType::kData) {
-      return;  // module-specific control: none for udp
+      DropBlock(std::move(b));  // module-specific control: none for udp
+      return;
     }
     pending_.insert(pending_.end(), b->payload(), b->payload() + b->size());
-    if (!b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));
+    if (!delim) {
       return;
     }
     Bytes datagram;
@@ -242,7 +246,7 @@ Status UdpConv::Output(const Bytes& payload) {
   return proto_->ip()->Send(kIpProtoUdp, src, dst, pkt);
 }
 
-void UdpConv::Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, size_t len) {
+void UdpConv::Input(const IpPacket& pkt, uint16_t sport, Bytes payload) {
   {
     QLockGuard guard(lock_);
     if (state_ == State::kConnected) {
@@ -253,12 +257,13 @@ void UdpConv::Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, si
     }
   }
   metrics_.dgrams_received.Inc();
-  metrics_.bytes_received.Inc(len);
-  stream_->DeliverUp(MakeDataBlock(Bytes(data, data + len), /*delim=*/true));
+  metrics_.bytes_received.Inc(payload.size());
+  stream_->DeliverUp(AllocDataBlock(std::move(payload), /*delim=*/true));
 }
 
 UdpProto::UdpProto(IpStack* ip) : ip_(ip) {
-  ip_->RegisterProtocol(kIpProtoUdp, [this](const IpPacket& pkt) { Input(pkt); });
+  ip_->RegisterProtocol(kIpProtoUdp,
+                        [this](IpPacket&& pkt) { Input(std::move(pkt)); });
 }
 
 UdpProto::~UdpProto() {
@@ -325,7 +330,8 @@ size_t UdpProto::ConvCount() {
   return convs_.size();
 }
 
-void UdpProto::Input(const IpPacket& pkt) {
+void UdpProto::Input(IpPacket&& pkt) {
+  P9_HOT_ROOT("udp.input");
   if (pkt.payload.size() < kUdpHeaderSize) {
     return;
   }
@@ -340,7 +346,11 @@ void UdpProto::Input(const IpPacket& pkt) {
   if (conv == nullptr) {
     return;
   }
-  conv->Input(pkt, sport, h + kUdpHeaderSize, len - kUdpHeaderSize);
+  // Reuse the packet's buffer for the datagram payload.
+  Bytes payload = std::move(pkt.payload);
+  payload.resize(len);
+  payload.erase(payload.begin(), payload.begin() + kUdpHeaderSize);
+  conv->Input(pkt, sport, std::move(payload));
 }
 
 UdpConv* UdpProto::FindOrSpawn(const IpPacket& pkt, uint16_t sport, uint16_t dport) {

@@ -62,7 +62,7 @@ class UdpConv : public NetConv {
 
   // Transmit one datagram to the connected remote.
   Status Output(const Bytes& payload);
-  void Input(const IpPacket& pkt, uint16_t sport, const uint8_t* data, size_t len);
+  void Input(const IpPacket& pkt, uint16_t sport, Bytes payload) P9_HOT_PATH;
   // Fresh stream + state for slot reuse after CloseUser.
   void Recycle();
 
@@ -98,7 +98,7 @@ class UdpProto : public NetProto {
  private:
   friend class UdpConv;
 
-  void Input(const IpPacket& pkt);
+  void Input(IpPacket&& pkt) P9_HOT_PATH;
   UdpConv* FindOrSpawn(const IpPacket& pkt, uint16_t sport, uint16_t dport);
   Result<UdpConv*> AllocConv();
 

@@ -155,7 +155,7 @@ Result<Fcall> NinepClient::FlushAndReap(uint16_t oldtag, std::shared_ptr<Pending
   Fcall tf = TflushMsg(oldtag);
   tf.tag = flush_tag;
   auto packed = tf.Pack();
-  Status sent = packed.ok() ? transport_->WriteMsg(*packed) : packed.error();
+  Status sent = packed.ok() ? transport_->WriteMsg(std::move(*packed)) : packed.error();
   std::function<void(const std::string&)> hook;
   std::string hook_why;
   Result<Fcall> out = Error(std::string(kErrTimedOut));
@@ -235,7 +235,7 @@ Result<Fcall> NinepClient::Rpc(Fcall tx) {
     pending_.erase(tx.tag);
     return packed.error();
   }
-  Status sent = transport_->WriteMsg(*packed);
+  Status sent = transport_->WriteMsg(std::move(*packed));
   if (!sent.ok()) {
     QLockGuard guard(lock_);
     pending_.erase(tx.tag);

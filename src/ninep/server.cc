@@ -142,7 +142,7 @@ void NinepServer::Reply(const Fcall& reply) {
     return;
   }
   QLockGuard guard(write_lock_);
-  (void)transport_->WriteMsg(*packed);
+  (void)transport_->WriteMsg(std::move(*packed));
 }
 
 void NinepServer::ReplyError(uint16_t tag, const std::string& ename) {

@@ -47,21 +47,19 @@ Result<Bytes> FramedMsgTransport::ReadMsg() {
   return msg;
 }
 
-Status FramedMsgTransport::WriteMsg(const Bytes& msg) {
+Status FramedMsgTransport::WriteMsg(Bytes msg) {
   if (msg.size() > kMaxMsg) {
     return Error("9p message too long");
   }
-  Bytes framed;
-  framed.reserve(4 + msg.size());
+  // Prefix the length in place: one memmove instead of a second buffer.
   uint32_t len = static_cast<uint32_t>(msg.size());
-  framed.push_back(static_cast<uint8_t>(len));
-  framed.push_back(static_cast<uint8_t>(len >> 8));
-  framed.push_back(static_cast<uint8_t>(len >> 16));
-  framed.push_back(static_cast<uint8_t>(len >> 24));
-  framed.insert(framed.end(), msg.begin(), msg.end());
+  const uint8_t hdr[4] = {static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
+                          static_cast<uint8_t>(len >> 16),
+                          static_cast<uint8_t>(len >> 24)};
+  msg.insert(msg.begin(), hdr, hdr + 4);
   // One write: 9P messages are well under the 32K atomic-write guarantee, so
   // the frame never interleaves with another writer's.
-  return write_(framed.data(), framed.size());
+  return write_(msg.data(), msg.size());
 }
 
 std::pair<std::unique_ptr<MsgTransport>, std::unique_ptr<MsgTransport>>
@@ -78,11 +76,20 @@ Result<Bytes> PipeTransport::ReadMsg() {
   if (b == nullptr) {
     return Bytes{};  // EOF
   }
-  return Bytes(b->payload(), b->payload() + b->size());
+  // Unread blocks surrender their buffer whole; a partially-read cursor
+  // (never the case for message pipes, but be safe) forces a copy.
+  Bytes out;
+  if (b->rp == 0) {
+    out = std::move(b->data);
+  } else {
+    out.assign(b->payload(), b->payload() + b->size());
+  }
+  RecycleBlock(std::move(b));
+  return out;
 }
 
-Status PipeTransport::WriteMsg(const Bytes& msg) {
-  return tx_->Put(MakeDataBlock(msg, /*delim=*/true));
+Status PipeTransport::WriteMsg(Bytes msg) {
+  return tx_->Put(AllocDataBlock(std::move(msg), /*delim=*/true));
 }
 
 void PipeTransport::Close() {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/base/block_annotations.h"
 #include "src/base/bytes.h"
 #include "src/base/result.h"
 #include "src/base/thread_annotations.h"
@@ -31,10 +32,10 @@ class MsgTransport {
   virtual ~MsgTransport() = default;
 
   // Blocking read of one whole 9P message.  Empty bytes = EOF/hangup.
-  virtual Result<Bytes> ReadMsg() MAY_BLOCK = 0;
+  virtual Result<Bytes> ReadMsg() P9_HOT_PATH MAY_BLOCK = 0;
   // Blocking: every transport can flow-control (queue limits, protocol
   // windows).  Callers may hold only sleepable locks (9p.server.write).
-  virtual Status WriteMsg(const Bytes& msg) MAY_BLOCK = 0;
+  virtual Status WriteMsg(Bytes msg) P9_HOT_PATH MAY_BLOCK = 0;
   virtual void Close() = 0;
 };
 
@@ -43,9 +44,12 @@ class StreamMsgTransport : public MsgTransport {
  public:
   explicit StreamMsgTransport(Stream* stream) : stream_(stream) {}
 
-  Result<Bytes> ReadMsg() override MAY_BLOCK { return stream_->ReadMessage(); }
-  Status WriteMsg(const Bytes& msg) override MAY_BLOCK {
-    return stream_->WriteBlock(MakeDataBlock(msg, /*delim=*/true));
+  Result<Bytes> ReadMsg() override P9_HOT_PATH MAY_BLOCK {
+    return stream_->ReadMessage();
+  }
+  Status WriteMsg(Bytes msg) override P9_HOT_PATH MAY_BLOCK {
+    // The caller's serialization buffer becomes the block payload.
+    return stream_->WriteBlock(AllocDataBlock(std::move(msg), /*delim=*/true));
   }
   void Close() override { stream_->Hangup(); }
 
@@ -65,8 +69,8 @@ class FramedMsgTransport : public MsgTransport {
   FramedMsgTransport(ReadFn read, WriteFn write, CloseFn close)
       : read_(std::move(read)), write_(std::move(write)), close_(std::move(close)) {}
 
-  Result<Bytes> ReadMsg() override;
-  Status WriteMsg(const Bytes& msg) override;
+  Result<Bytes> ReadMsg() override P9_HOT_PATH;
+  Status WriteMsg(Bytes msg) override P9_HOT_PATH;
   void Close() override {
     if (close_) {
       close_();
@@ -87,8 +91,8 @@ class PipeTransport : public MsgTransport {
  public:
   static std::pair<std::unique_ptr<MsgTransport>, std::unique_ptr<MsgTransport>> Make();
 
-  Result<Bytes> ReadMsg() override;
-  Status WriteMsg(const Bytes& msg) override;
+  Result<Bytes> ReadMsg() override P9_HOT_PATH;
+  Status WriteMsg(Bytes msg) override P9_HOT_PATH;
   void Close() override;
 
  private:

@@ -19,11 +19,13 @@ struct PipePair {
 class PipeDeviceModule : public StreamModule {
  public:
   std::string_view name() const override { return "pipedev"; }
-  void DownPut(BlockPtr b) override {
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (peer_ != nullptr && b->type == BlockType::kData) {
       // Pipes respect the head-queue flow-control limit implicitly via the
       // writer's stream; deliver directly.
       peer_->DeliverUp(std::move(b));
+    } else {
+      DropBlock(std::move(b));
     }
   }
   Stream* peer_ = nullptr;
@@ -472,7 +474,7 @@ std::unique_ptr<MsgTransport> Proc::TransportForFd(int fd, bool delimited) {
      public:
       explicit DelimTransport(std::shared_ptr<Vnode> node) : node_(std::move(node)) {}
       Result<Bytes> ReadMsg() override { return node_->Read(0, kMaxMsg); }
-      Status WriteMsg(const Bytes& msg) override {
+      Status WriteMsg(Bytes msg) override {
         auto n = node_->Write(0, msg);
         if (!n.ok()) {
           return n.error();

@@ -4,6 +4,12 @@
 // blocks.  Each block contains a type, some state flags, and pointers to an
 // optional buffer.  Block buffers can hold either data or control
 // information, i.e., directives to the processing modules."
+//
+// Blocks are passed, not copied, along the data path: ownership of a
+// BlockPtr transfers at every hop (P9_CONSUMES), and per-message paths must
+// not allocate once the block pool is warm (P9_HOT_PATH).  See
+// src/base/block_annotations.h and DESIGN.md §13 for the discipline and the
+// checkers (blockcheck / hotcheck) that enforce it.
 #ifndef SRC_STREAM_BLOCK_H_
 #define SRC_STREAM_BLOCK_H_
 
@@ -12,6 +18,7 @@
 #include <string_view>
 #include <utility>
 
+#include "src/base/block_annotations.h"
 #include "src/base/bytes.h"
 
 namespace plan9 {
@@ -22,6 +29,14 @@ enum class BlockType : uint8_t {
   kHangup = 2,   // sent up the stream from the device end on disconnect
 };
 
+// Copy-audit hooks (src/stream/block.cc).  Every deliberate block copy and
+// every message entering a stream is counted, so the bench snapshot can
+// report copies_per_message (stream.block.* counters, DESIGN.md §13).
+namespace blockaudit {
+void NoteCopy();     // a whole-payload copy was made (CloneBlock, Text)
+void NoteMessage();  // a delimited data block entered a stream head
+}  // namespace blockaudit
+
 struct Block {
   BlockType type = BlockType::kData;
   // End-of-message marker: "The last block written is flagged with a
@@ -31,15 +46,30 @@ struct Block {
   // Read cursor: bytes [rp, data.size()) are live.  Kept in the block so a
   // partially-consumed block can be pushed back on a queue.
   size_t rp = 0;
+  // Intrusive free-list link for the per-thread block pool; live blocks
+  // never use it.
+  Block* pool_next = nullptr;
 
   size_t size() const { return data.size() - rp; }
   const uint8_t* payload() const { return data.data() + rp; }
   std::string Text() const {
+    blockaudit::NoteCopy();
     return std::string(reinterpret_cast<const char*>(payload()), size());
   }
 };
 
 using BlockPtr = std::unique_ptr<Block>;
+
+// Pooled allocation for the hot path.  AllocDataBlock reuses a Block node
+// from the calling thread's free list when one is available (stream.block
+// pool-hit/pool-miss counters record the ratio), so a warm steady-state
+// send/receive path performs no node allocation.  RecycleBlock returns a
+// fully-consumed block to the pool; DropBlock is the *explicit* way to
+// discard an owned block (counted, pooled) — letting a BlockPtr die in a
+// destructor on a consuming path is a blockcheck finding.
+BlockPtr AllocDataBlock(Bytes data, bool delim = false) P9_HOT_PATH;
+void RecycleBlock(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
+void DropBlock(BlockPtr b) P9_CONSUMES(b);
 
 inline BlockPtr MakeDataBlock(Bytes data, bool delim = false) {
   auto b = std::make_unique<Block>();
@@ -68,7 +98,10 @@ inline BlockPtr MakeHangupBlock() {
   return b;
 }
 
+inline BlockPtr CloneBlock(const Block& b) P9_BORROWS(b);
+
 inline BlockPtr CloneBlock(const Block& b) {
+  blockaudit::NoteCopy();
   auto copy = std::make_unique<Block>();
   copy->type = b.type;
   copy->delim = b.delim;

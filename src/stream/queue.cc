@@ -27,6 +27,7 @@ Status Queue::Put(BlockPtr b) {
     QLockGuard guard(lock_);
     can_write_.Sleep(lock_, [&]() REQUIRES(lock_) { return closed_ || bytes_ <= limit_; });
     if (closed_) {
+      DropBlock(std::move(b));  // don't strand the block on the failed path
       return Error(kErrHungup);
     }
     bytes_ += b->size();
@@ -44,6 +45,7 @@ Status Queue::PutNoBlock(BlockPtr b) {
   {
     QLockGuard guard(lock_);
     if (closed_) {
+      DropBlock(std::move(b));
       return Error(kErrHungup);
     }
     bytes_ += b->size();

@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 
+#include "src/base/block_annotations.h"
 #include "src/base/result.h"
 #include "src/base/thread_annotations.h"
 #include "src/stream/block.h"
@@ -28,20 +29,20 @@ class Queue {
   ~Queue();  // releases still-queued bytes from the process depth gauge
 
   // Enqueue, sleeping while the queue is over its limit.  Fails if closed.
-  Status Put(BlockPtr b) MAY_BLOCK;
+  Status Put(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH MAY_BLOCK;
 
   // Enqueue without flow control (device input paths must not block).
-  Status PutNoBlock(BlockPtr b);
+  Status PutNoBlock(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
 
   // Return a partially consumed block to the head of the queue.
-  void PutBack(BlockPtr b);
+  void PutBack(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
 
   // Dequeue; blocks until a block is available.  Returns nullptr once the
   // queue is closed and drained.
-  BlockPtr Get() MAY_BLOCK;
+  BlockPtr Get() P9_HOT_PATH MAY_BLOCK;
 
   // Non-blocking dequeue; nullptr if empty.
-  BlockPtr GetNoWait();
+  BlockPtr GetNoWait() P9_HOT_PATH;
 
   // Block until at least one block is queued or the queue is closed.
   // Returns true if data is available.

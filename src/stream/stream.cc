@@ -5,18 +5,23 @@
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/task/hotcheck.h"
 
 namespace plan9 {
 
 void StreamModule::PutDown(BlockPtr b) {
   if (down_ != nullptr) {
     down_->DownPut(std::move(b));
+  } else {
+    DropBlock(std::move(b));  // unlinked module: nowhere to forward
   }
 }
 
 void StreamModule::PutUp(BlockPtr b) {
   if (up_ != nullptr) {
     up_->UpPut(std::move(b));
+  } else {
+    DropBlock(std::move(b));
   }
 }
 
@@ -47,10 +52,11 @@ class Stream::HeadModule : public StreamModule {
   explicit HeadModule(Stream* stream) : stream_(stream) {}
   std::string_view name() const override { return "head"; }
 
-  void UpPut(BlockPtr b) override {
+  void UpPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
     if (b->type == BlockType::kHangup) {
       stream_->hungup_.store(true);
       stream_->head_queue_.Close();
+      DropBlock(std::move(b));  // the hangup is now stream state, not data
       return;
     }
     // Input is not flow controlled at the head (device context must not
@@ -58,7 +64,9 @@ class Stream::HeadModule : public StreamModule {
     (void)stream_->head_queue_.PutNoBlock(std::move(b));
   }
 
-  void DownPut(BlockPtr b) override { PutDown(std::move(b)); }
+  void DownPut(BlockPtr b) override P9_CONSUMES(b) P9_HOT_PATH {
+    PutDown(std::move(b));
+  }
 
  private:
   Stream* stream_;
@@ -95,9 +103,14 @@ void Stream::Relink() {
 
 void Stream::SendDown(BlockPtr b) {
   std::shared_lock<std::shared_mutex> lock(chain_lock_);
+  if (b->delim && b->type == BlockType::kData) {
+    blockaudit::NoteMessage();
+  }
   StreamModule* top = head_module_->down_;
   if (top != nullptr) {
     top->DownPut(std::move(b));
+  } else {
+    DropBlock(std::move(b));
   }
 }
 
@@ -105,19 +118,25 @@ Result<size_t> Stream::Write(const uint8_t* data, size_t n) {
   if (hungup_.load()) {
     return Error(kErrHungup);
   }
+  P9_HOT_ROOT("stream.write");
   size_t sent = 0;
   do {
     size_t chunk = n - sent < kMaxBlock ? n - sent : kMaxBlock;
-    auto b = MakeDataBlock(Bytes(data + sent, data + sent + chunk));
+    // The single user-to-kernel copy of the data path ("a write of less
+    // than 32K is guaranteed to be contained by a single block"); the block
+    // node itself comes from the pool.
+    auto b = AllocDataBlock(Bytes(data + sent, data + sent + chunk),
+                            /*delim=*/sent + chunk == n);
     sent += chunk;
-    b->delim = sent == n;  // last block of the write carries the delimiter
     SendDown(std::move(b));
   } while (sent < n);
   return sent;
 }
 
 Status Stream::WriteBlock(BlockPtr b) {
+  P9_HOT_ROOT("stream.write-block");
   if (hungup_.load()) {
+    DropBlock(std::move(b));
     return Error(kErrHungup);
   }
   SendDown(std::move(b));
@@ -149,6 +168,7 @@ Status Stream::WriteControl(std::string_view msg) {
 
 Result<size_t> Stream::Read(uint8_t* buf, size_t n) {
   QLockGuard read_guard(read_lock_);
+  P9_HOT_ROOT("stream.read");
   size_t got = 0;
   while (got < n) {
     BlockPtr b = got == 0 ? head_queue_.Get() : head_queue_.GetNoWait();
@@ -157,6 +177,7 @@ Result<size_t> Stream::Read(uint8_t* buf, size_t n) {
     }
     if (b->type == BlockType::kControl) {
       // Control blocks reaching the head are rare; skip them for data reads.
+      DropBlock(std::move(b));
       continue;
     }
     size_t take = b->size() < n - got ? b->size() : n - got;
@@ -167,7 +188,9 @@ Result<size_t> Stream::Read(uint8_t* buf, size_t n) {
       head_queue_.PutBack(std::move(b));
       break;  // buffer full
     }
-    if (b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));  // fully drained: back to the pool
+    if (delim) {
       break;  // "...or when the end of a delimited block is encountered"
     }
   }
@@ -176,6 +199,7 @@ Result<size_t> Stream::Read(uint8_t* buf, size_t n) {
 
 Result<Bytes> Stream::ReadMessage() {
   QLockGuard read_guard(read_lock_);
+  P9_HOT_ROOT("stream.read-message");
   Bytes out;
   for (;;) {
     BlockPtr b = head_queue_.Get();
@@ -183,10 +207,13 @@ Result<Bytes> Stream::ReadMessage() {
       break;  // EOF
     }
     if (b->type == BlockType::kControl) {
+      DropBlock(std::move(b));
       continue;
     }
     out.insert(out.end(), b->payload(), b->payload() + b->size());
-    if (b->delim) {
+    bool delim = b->delim;
+    RecycleBlock(std::move(b));
+    if (delim) {
       break;
     }
   }
@@ -225,10 +252,15 @@ size_t Stream::ModuleCount() {
 
 void Stream::DeliverUp(BlockPtr b) {
   std::shared_lock<std::shared_mutex> lock(chain_lock_);
+  if (b->delim && b->type == BlockType::kData) {
+    blockaudit::NoteMessage();
+  }
   // Enter above the device module so pushed modules see inbound traffic.
   StreamModule* first = device_module_->up_;
   if (first != nullptr) {
     first->UpPut(std::move(b));
+  } else {
+    DropBlock(std::move(b));
   }
 }
 

@@ -57,10 +57,14 @@ class StreamModule {
   virtual std::string_view name() const = 0;
 
   // Data travelling toward the device.  Default: pass to the next module.
-  virtual void DownPut(BlockPtr b) { PutDown(std::move(b)); }
+  virtual void DownPut(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH {
+    PutDown(std::move(b));
+  }
 
   // Data travelling toward the process.  Default: pass upward.
-  virtual void UpPut(BlockPtr b) { PutUp(std::move(b)); }
+  virtual void UpPut(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH {
+    PutUp(std::move(b));
+  }
 
   // Called when the module is inserted into / removed from a stream.
   virtual void OnOpen(Stream* stream) {}
@@ -68,8 +72,8 @@ class StreamModule {
 
  protected:
   // Forward helpers for subclasses.
-  void PutDown(BlockPtr b);
-  void PutUp(BlockPtr b);
+  void PutDown(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
+  void PutUp(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
 
  private:
   friend class Stream;
@@ -110,13 +114,13 @@ class Stream {
   // Copy data into blocks and send them down the stream.  Returns bytes
   // written or an error (e.g. after hangup).  MAY_BLOCK: put routines below
   // can sleep on protocol windows or queue flow control.
-  Result<size_t> Write(const uint8_t* data, size_t n) MAY_BLOCK;
+  Result<size_t> Write(const uint8_t* data, size_t n) P9_HOT_PATH MAY_BLOCK;
   Result<size_t> Write(std::string_view s) MAY_BLOCK {
     return Write(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
   // Send one pre-formed block down (no splitting); used by RPC layers that
   // need message boundaries preserved exactly.
-  Status WriteBlock(BlockPtr b) MAY_BLOCK;
+  Status WriteBlock(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH MAY_BLOCK;
 
   // Write a control block.  `push name`, `pop` and `hangup` are interpreted
   // by the stream system; everything else goes down the stream.
@@ -125,12 +129,12 @@ class Stream {
   // Read up to n bytes.  "The read terminates when the read count is reached
   // or when the end of a delimited block is encountered."  Returns 0 at EOF
   // (hangup).  A per-stream read lock serializes readers.
-  Result<size_t> Read(uint8_t* buf, size_t n) MAY_BLOCK;
+  Result<size_t> Read(uint8_t* buf, size_t n) P9_HOT_PATH MAY_BLOCK;
 
   // Read exactly one delimited message (drains blocks up to and including
   // the next delimiter).  nullptr-sized (empty optional semantics): returns
   // empty Bytes at EOF.
-  Result<Bytes> ReadMessage() MAY_BLOCK;
+  Result<Bytes> ReadMessage() P9_HOT_PATH MAY_BLOCK;
 
   // Non-blocking check for readable data.
   bool HasInput();
@@ -146,7 +150,7 @@ class Stream {
 
   // Deliver a block arriving from below the topmost module toward the user.
   // Called by the device module chain; lands in the head queue.
-  void DeliverUp(BlockPtr b);
+  void DeliverUp(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
 
   // The device end signals disconnect; readers see EOF after draining.
   void Hangup();
@@ -158,7 +162,7 @@ class Stream {
   friend class StreamModule;
 
   // Sends b into the top of the downstream chain.
-  void SendDown(BlockPtr b);
+  void SendDown(BlockPtr b) P9_CONSUMES(b) P9_HOT_PATH;
   void Relink();
 
   std::shared_mutex chain_lock_;  // guards module list & links vs. traffic

@@ -3,7 +3,7 @@
 import re
 from typing import Dict, List, Optional, Set, Tuple
 
-from . import config
+from . import blockcheck, config
 from .model import Finding, Function, Program, Token
 from .textparse import FileIndex
 
@@ -381,5 +381,6 @@ def run_all(program: Program, files: List[FileIndex]) -> List[Finding]:
     findings += check_fmt_arity(files)
     findings += check_metric_names(files)
     findings += check_span_names(files)
+    findings += blockcheck.run(program, files)
     findings.sort(key=lambda f: (f.file, f.line, f.check, f.detail))
     return findings

@@ -98,3 +98,67 @@ FD_SOURCES = {"Open", "Create", "Dial", "Accept", "Listen", "Announce", "Dup"}
 
 # Consuming a raw fd: constructing a guard, returning it, or closing it.
 FD_GUARD_TYPES = {"FdCloser"}
+
+# ---------------------------------------------------------------------------
+# Blockcheck (src/base/block_annotations.h, DESIGN.md section 13).
+# ---------------------------------------------------------------------------
+
+# Types whose locals/parameters the use-after-move check tracks.
+BLOCK_PTR_TYPES = {"BlockPtr"}
+
+# Extra hot-path roots beyond the P9_HOT_PATH annotations in the tree (names
+# as the text frontend qualifies them).  Normally empty: annotate the source
+# instead so the runtime hotcheck scope rides along.
+HOT_SEEDS: set = set()
+
+# Callees that clone or copy-build a block/buffer: banned in hot functions.
+# AllocDataBlock is the sanctioned pooled allocator and is NOT here.
+HOT_BANNED_CALLEES = {
+    "CloneBlock", "MakeDataBlock", "MakeControlBlock", "MakeHangupBlock",
+    "ToBytes",
+}
+
+# Copy/alloc constructors flagged in hot bodies: `Bytes(p, p + n)` is a
+# whole-payload copy, `Bytes(n)` a fresh allocation.
+HOT_COPY_CTORS = {"Bytes"}
+
+# Statements mentioning these identifiers are cold error sub-paths of hot
+# functions (building an error string on hangup is not per-message work).
+HOT_COLD_MARKERS = {"Error", "err_"}
+
+# Hot-reachable functions allowed to copy or allocate, mirroring the
+# SLEEPABLE_CLASSES idea: each entry is a documented, *counted* exception
+# (blockaudit::NoteCopy or a deliberate cold sub-path), not an exemption of
+# convenience.
+HOT_PATH_SAFE = {
+    # The single sanctioned user-to-kernel copy: Stream::Write builds the
+    # block payload from the caller's buffer (DESIGN.md section 13).
+    "Stream::Write",
+    # The pooled allocator itself: its miss path `new Block()` is what the
+    # pool-miss counter measures; steady state never takes it.
+    "AllocDataBlock",
+    # Ether multicast: one extra payload copy per additional recipient,
+    # counted via blockaudit::NoteCopy right at the copy.
+    "EtherProto::Input",
+    # CloneBlock is the *deliberate* copy primitive; it counts itself.
+    "CloneBlock",
+    # Retransmit-path serializers: EmitLocked builds the wire frame (header
+    # + payload) it hands to IpStack::Send; the IL data path reuses the
+    # sender's buffer for the retransmit queue, so this is the one framing
+    # copy per message the protocol design requires.
+    "IlConv::EmitLocked",
+    "TcpConv::EmitLocked",
+    "UdpConv::Output",
+    "CycloneConv::SendMessage",
+    "UrpCircuit::SendMessage",
+    # 9P framing: WriteMsg length-prefixes the serialized message in place
+    # (one memmove); ReadMsg assembles a frame from the byte stream.
+    "FramedMsgTransport::WriteMsg",
+    "FramedMsgTransport::ReadMsg",
+    # Leak-singleton accessors: the `new` runs once per process, under the
+    # first caller, never per message.
+    "MetricsRegistry::Default",
+    "Tracer::Default",
+    "FlightRecorder::Default",
+    "TimerWheel::Default",
+}

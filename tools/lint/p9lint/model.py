@@ -1,7 +1,7 @@
 """Intermediate representation shared by every frontend and check."""
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 
 @dataclass
@@ -60,6 +60,10 @@ class Program:
     lock_classes: Dict[Tuple[str, str], str] = field(default_factory=dict)
     # method qname -> bare return type (for a()->b() chains).
     return_types: Dict[str, str] = field(default_factory=dict)
+    # qname -> resolved callee qnames, unioned over EVERY body with that
+    # qname (colliding anonymous-namespace classes included) — the graph
+    # hot-path propagation walks.  Function.calls keeps only the first body.
+    all_calls: Dict[str, Set[str]] = field(default_factory=dict)
     findings_inputs: Dict[str, list] = field(default_factory=dict)
 
     def merge_function(self, fn: Function) -> None:

@@ -56,6 +56,10 @@ _ANNOTATION_MACROS = {
     "ASSERT_CAPABILITY", "RETURN_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY",
 }
 
+# Data-path ownership annotations (src/base/block_annotations.h).  The
+# parenthesized ones name a parameter; P9_HOT_PATH is bare like MAY_BLOCK.
+_OWNERSHIP_MACROS = {"P9_CONSUMES", "P9_BORROWS"}
+
 
 def lex(text: str) -> List[Token]:
     """Tokenize, dropping comments, preprocessor lines and whitespace.
@@ -157,6 +161,10 @@ class RawFunction:
     requires: List[str]
     body: List[Token]  # empty for bare declarations
     has_body: bool
+    hot: bool = False  # P9_HOT_PATH on this declaration/definition
+    consumes: List[str] = field(default_factory=list)  # P9_CONSUMES(param)
+    borrows: List[str] = field(default_factory=list)  # P9_BORROWS(param)
+    params: List[Tuple[Optional[str], str]] = field(default_factory=list)
 
 
 @dataclass
@@ -417,20 +425,38 @@ class _Parser:
             return
 
         params_end = _match_forward(self.toks, head_end, "(", ")")
+        params = _parse_params(self.toks[head_end + 1 : params_end - 1])
         self.i = params_end
         self._paren_then_tail(cls, qual, name, start, record=True, head_start=start,
-                              name_line=self.toks[name_idx].line)
+                              name_line=self.toks[name_idx].line, params=params)
 
-    def _paren_then_tail(self, cls, qual, name, start, record, head_start=0, name_line=0):
+    def _paren_then_tail(self, cls, qual, name, start, record, head_start=0, name_line=0,
+                         params=None):
         """self.i just past the parameter ')': consume qualifiers + body/;."""
         may_block = False
+        hot = False
         requires: List[str] = []
+        consumes: List[str] = []
+        borrows: List[str] = []
         while self.i < self.n:
             t = self.toks[self.i]
             tt = t.text
             if tt == "MAY_BLOCK":
                 may_block = True
                 self.i += 1
+                continue
+            if tt == "P9_HOT_PATH":
+                hot = True
+                self.i += 1
+                continue
+            if t.kind == "id" and tt in _OWNERSHIP_MACROS:
+                self.i += 1
+                if self._tok() and self._tok().text == "(":
+                    arg_start = self.i + 1
+                    end = _match_forward(self.toks, self.i, "(", ")")
+                    arg = "".join(x.text for x in self.toks[arg_start : end - 1])
+                    (consumes if tt == "P9_CONSUMES" else borrows).append(arg)
+                    self.i = end
                 continue
             if t.kind == "id" and tt in _ANNOTATION_MACROS:
                 self.i += 1
@@ -497,14 +523,17 @@ class _Parser:
         if not record or name is None:
             return
         qname = f"{qual}::{name}" if qual else name
-        # Leading MAY_BLOCK (before the return type) also counts.
+        # Leading MAY_BLOCK / P9_HOT_PATH (before the return type) also count.
         for x in self.toks[head_start : head_start + 6]:
             if x.text == "MAY_BLOCK":
                 may_block = True
+            if x.text == "P9_HOT_PATH":
+                hot = True
         self.raw_out.append(
             RawFunction(qname=qname, cls=qual, file=self.path, line=name_line,
                         may_block=may_block, requires=requires, body=body,
-                        has_body=has_body))
+                        has_body=has_body, hot=hot, consumes=consumes,
+                        borrows=borrows, params=params or []))
         # Return type (for a()->b() chains): first useful id of the head.
         rt = _bare_type(self.toks[head_start : max(head_start, 0) + 0] or [])
         rt = _bare_type(self.toks[head_start:], stop_at=name)
@@ -540,6 +569,44 @@ class _Parser:
 
     # plumbing: the declaration parser appends here
     raw_out: List[RawFunction] = None
+
+
+def _parse_params(toks: List[Token]) -> List[Tuple[Optional[str], str]]:
+    """(bare type, name) per parameter; unnamed parameters are skipped.
+
+    `BlockPtr b` -> ("BlockPtr", "b"); `const Bytes& msg` -> ("Bytes",
+    "msg"); default arguments are ignored.
+    """
+    groups: List[List[Token]] = [[]]
+    depth = 0
+    for t in toks:
+        if t.text in "([{<":
+            depth += 1
+        elif t.text in ")]}>":
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            groups.append([])
+            continue
+        groups[-1].append(t)
+    out: List[Tuple[Optional[str], str]] = []
+    for g in groups:
+        # Drop a default argument: everything from a top-level '='.
+        d = 0
+        for k, t in enumerate(g):
+            if t.text in "([{<":
+                d += 1
+            elif t.text in ")]}>":
+                d -= 1
+            elif t.text == "=" and d == 0:
+                g = g[:k]
+                break
+        ids = [t for t in g if t.kind == "id" and t.text not in _DECL_QUALIFIERS
+               and t.text != "std"]
+        if len(ids) < 2:
+            continue  # unnamed (`int`, `BlockPtr&&`) or empty
+        name = ids[-1].text
+        out.append((_bare_type(g, stop_at=name), name))
+    return out
 
 
 def _bare_type(toks: List[Token], stop_at: Optional[str] = None) -> Optional[str]:
@@ -636,12 +703,25 @@ def analyze(program: Program, files: List[FileIndex]) -> None:
             pending.append(raw)
     analyzed: set = set()
     for raw in pending:
-        if not raw.has_body or raw.qname in analyzed:
+        if not raw.has_body:
+            continue
+        if raw.qname in analyzed:
+            # Colliding qname (e.g. anonymous-namespace `Module::DownPut`
+            # across protocol files): the merged Function keeps the first
+            # body, but the call graph must still see this body's edges —
+            # hot-path propagation walks program.all_calls, not fn.calls.
+            shadow = Function(qname=raw.qname, file=raw.file, line=raw.line)
+            _analyze_body(program, raw, shadow)
+            edges = program.all_calls.setdefault(raw.qname, set())
+            edges.update(c.callee for c in shadow.calls if c.callee)
             continue
         # The surviving record is the first definition merge kept; analyzing
         # the first body raw per qname keeps them in step.
         analyzed.add(raw.qname)
-        _analyze_body(program, raw, program.functions[raw.qname])
+        fn = program.functions[raw.qname]
+        _analyze_body(program, raw, fn)
+        edges = program.all_calls.setdefault(raw.qname, set())
+        edges.update(c.callee for c in fn.calls if c.callee)
 
 
 def _analyze_body(program: Program, raw: RawFunction, fn: Function) -> None:
@@ -649,6 +729,9 @@ def _analyze_body(program: Program, raw: RawFunction, fn: Function) -> None:
     n = len(toks)
     cls = raw.cls
     locals_types: Dict[str, str] = {}
+    for ptype, pname in raw.params:
+        if ptype:
+            locals_types[pname] = ptype
     global _LOCAL_TYPES
     _LOCAL_TYPES = locals_types
 

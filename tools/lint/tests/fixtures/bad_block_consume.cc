@@ -1,0 +1,53 @@
+// Fixture: consume-on-all-paths for P9_CONSUMES parameters.
+#include "src/base/block_annotations.h"
+#include "src/stream/block.h"
+
+namespace plan9 {
+
+class Queue2 {
+ public:
+  // BAD: the closed path returns without consuming b (the BlockPtr dies in
+  // its destructor instead of being explicitly dropped).
+  int LeakyPut(BlockPtr b) P9_CONSUMES(b) {
+    if (closed_) {
+      return -1;
+    }
+    store_ = std::move(b);
+    return 0;
+  }
+
+  // BAD: the non-data branch silently falls off the end with b still owned.
+  void LeakyDownPut(BlockPtr b) P9_CONSUMES(b) {
+    if (b->type == BlockType::kData) {
+      store_ = std::move(b);
+    }
+  }
+
+  // OK: every path forwards, recycles, or drops.
+  int CleanPut(BlockPtr b) P9_CONSUMES(b) {
+    if (b == nullptr) {
+      return 0;
+    }
+    if (closed_) {
+      DropBlock(std::move(b));
+      return -1;
+    }
+    store_ = std::move(b);
+    return 0;
+  }
+
+  // OK: both branches of the if/else consume.
+  void CleanDownPut(BlockPtr b) P9_CONSUMES(b) {
+    if (b->type == BlockType::kData) {
+      store_ = std::move(b);
+    } else {
+      DropBlock(std::move(b));
+    }
+  }
+
+ private:
+  bool closed_ = false;
+  BlockPtr store_;
+};
+
+}  // namespace plan9

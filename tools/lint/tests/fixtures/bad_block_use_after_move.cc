@@ -1,0 +1,44 @@
+// Fixture: use-after-move of BlockPtr variables.
+#include "src/stream/block.h"
+
+namespace plan9 {
+
+class Sink {
+ public:
+  void Forward(BlockPtr b);
+
+  // BAD: dereferences b after handing it off.
+  void UseAfterMove(BlockPtr b) {
+    Forward(std::move(b));
+    last_size_ = b->size();
+  }
+
+  // BAD: moves the same block twice on one path.
+  void DoubleMove(BlockPtr b) {
+    Forward(std::move(b));
+    Forward(std::move(b));
+  }
+
+  // OK: the move is conditional; the use is on the other path.
+  void ConditionalMove(BlockPtr b) {
+    if (closed_) {
+      Forward(std::move(b));
+      return;
+    }
+    last_size_ = b->size();
+    Forward(std::move(b));
+  }
+
+  // OK: reassigned between the move and the use.
+  void Reassigned(BlockPtr b) {
+    Forward(std::move(b));
+    b = MakeDataBlock("again", true);
+    last_size_ = b->size();
+  }
+
+ private:
+  bool closed_ = false;
+  size_t last_size_ = 0;
+};
+
+}  // namespace plan9

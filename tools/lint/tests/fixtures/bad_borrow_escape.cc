@@ -1,0 +1,25 @@
+// Fixture: borrow-escape for P9_BORROWS parameters.
+#include "src/base/block_annotations.h"
+#include "src/stream/block.h"
+
+namespace plan9 {
+
+class Peeker {
+ public:
+  // BAD: stashes the address of a borrowed block past the call.
+  void KeepAddress(const Block& b) P9_BORROWS(b) {
+    stash_ = &b;
+  }
+
+  // OK: reads the borrow, copies the bytes it needs, keeps nothing.
+  size_t Peek(const Block& b) P9_BORROWS(b) {
+    head_ = Bytes(b.payload(), b.payload() + std::min<size_t>(4, b.size()));
+    return b.size();
+  }
+
+ private:
+  const Block* stash_ = nullptr;
+  Bytes head_;
+};
+
+}  // namespace plan9

@@ -14,7 +14,7 @@ import unittest
 HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.dirname(HERE))  # tools/lint
 
-from p9lint import checks, textparse  # noqa: E402
+from p9lint import blockcheck, checks, textparse  # noqa: E402
 from p9lint.model import Program  # noqa: E402
 
 FIXTURES = os.path.join(HERE, "fixtures")
@@ -105,6 +105,63 @@ class SpanOpName(unittest.TestCase):
         ])
 
 
+class BlockUseAfterMove(unittest.TestCase):
+    def test_bad_and_good(self):
+        keys = lint("bad_block_use_after_move.cc")
+        self.assertEqual(sorted(keys), sorted([
+            "use-after-move|bad_block_use_after_move.cc|Sink::UseAfterMove"
+            "|var=b",
+            "use-after-move|bad_block_use_after_move.cc|Sink::DoubleMove"
+            "|var=b",
+        ]))
+
+
+class ConsumeOnAllPaths(unittest.TestCase):
+    def test_bad_and_good(self):
+        keys = lint("bad_block_consume.cc")
+        self.assertEqual(sorted(keys), sorted([
+            "consume-on-all-paths|bad_block_consume.cc|Queue2::LeakyPut"
+            "|var=b",
+            "consume-on-all-paths|bad_block_consume.cc|Queue2::LeakyDownPut"
+            "|var=b",
+        ]))
+
+
+class CopyInHotPath(unittest.TestCase):
+    def test_bad_and_good(self):
+        keys = lint("bad_hot_path_copy.cc")
+        self.assertEqual(sorted(keys), sorted([
+            "copy-in-hot-path|bad_hot_path_copy.cc|Conv2::HotRecv"
+            "|callee=CloneBlock",
+            "copy-in-hot-path|bad_hot_path_copy.cc|Conv2::HotHelper"
+            "|callee=MakeDataBlock",
+            "copy-in-hot-path|bad_hot_path_copy.cc|Conv2::HotHelper"
+            "|callee=std::string",
+        ]))
+
+    def test_hot_propagation_is_transitive_and_callee_ward(self):
+        program = Program()
+        path = os.path.join(FIXTURES, "bad_hot_path_copy.cc")
+        with open(path) as f:
+            idx = textparse.parse_file(program, "f.cc", f.read())
+        textparse.analyze(program, [idx])
+        hot = blockcheck.propagate_hot(program, [idx])
+        self.assertIn("Conv2::HotRecv", hot)    # annotated
+        self.assertIn("HotEntry", hot)          # annotated free function
+        self.assertIn("Glue", hot)              # one hop
+        self.assertIn("Conv2::HotHelper", hot)  # two hops, via receiver type
+        self.assertNotIn("Conv2::ColdStats", hot)
+
+
+class BorrowEscape(unittest.TestCase):
+    def test_bad_and_good(self):
+        keys = lint("bad_borrow_escape.cc")
+        self.assertEqual(keys, [
+            "borrow-escape|bad_borrow_escape.cc|Peeker::KeepAddress"
+            "|var=b;escape=address-of",
+        ])
+
+
 class RealTreeSmoke(unittest.TestCase):
     """The annotations the sweep added to the real headers must be visible
     to the text frontend and propagate into the core call graph."""
@@ -114,8 +171,8 @@ class RealTreeSmoke(unittest.TestCase):
         program = Program()
         indexes = []
         for rel in ("src/task/rendez.h", "src/stream/queue.h",
-                    "src/stream/stream.h", "src/ninep/client.h",
-                    "src/task/qlock.h"):
+                    "src/stream/stream.h", "src/stream/block.h",
+                    "src/ninep/client.h", "src/task/qlock.h"):
             path = os.path.join(root, rel)
             if not os.path.exists(path):
                 self.skipTest(f"{rel} not found (fixture-only checkout)")
@@ -130,6 +187,15 @@ class RealTreeSmoke(unittest.TestCase):
         # The sleepable whitelist classes must be declared on real locks.
         self.assertEqual(program.lock_classes.get(("Stream", "read_lock_")),
                          "stream.read")
+        # The data-path annotations must be visible and propagate: the
+        # queue entry points are hot roots, and everything Stream::Write
+        # touches rides along.
+        hot = blockcheck.propagate_hot(program, indexes)
+        self.assertIn("Queue::Put", hot)
+        self.assertIn("Stream::Write", hot)
+        consumes = blockcheck.collect_consumes(indexes)
+        self.assertEqual(consumes.get("Queue::Put"), {"b"})
+        self.assertEqual(consumes.get("RecycleBlock"), {"b"})
         # And the good idioms must not fire in these headers.
         keys = [k for k in (f.key() for f in checks.run_all(program, indexes))
                 if k.startswith("blocking-under-lock")]
